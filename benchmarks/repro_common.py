@@ -1,0 +1,44 @@
+"""Helpers shared by the figure/table reproduction benchmarks."""
+
+from repro.sim import geomean
+from repro.sim.runner import scaled
+from repro.workloads import BENCHMARKS, PREFETCH_SENSITIVE
+
+
+def single_speedups(runner, prefetchers, budget, config_for=None,
+                    base_config=None):
+    """Per-benchmark speedups vs the no-prefetch baseline.
+
+    :param config_for: optional ``fn(prefetcher) -> SystemConfig``.
+    :param base_config: optional baseline SystemConfig (must keep
+        ``prefetcher="none"``), for sweeps that change the machine itself.
+    :returns: rows ``[(bench, {pf: speedup})]`` ready for rendering.
+    """
+    instructions = scaled(budget)
+    rows = []
+    for bench in BENCHMARKS:
+        base = runner.run_single(bench, "none", instructions, base_config)
+        values = {}
+        for prefetcher in prefetchers:
+            config = config_for(prefetcher) if config_for else None
+            run = runner.run_single(bench, prefetcher, instructions, config)
+            values[prefetcher] = run.ipc / base.ipc
+        rows.append((bench, values))
+    return rows
+
+
+def append_geomeans(rows, columns):
+    """Add the paper's Geomean and prefetch-sensitive Geomean rows."""
+    full = {
+        column: geomean(values[column] for _, values in rows)
+        for column in columns
+    }
+    sensitive = {
+        column: geomean(
+            values[column]
+            for bench, values in rows
+            if bench in PREFETCH_SENSITIVE
+        )
+        for column in columns
+    }
+    return rows + [("Geomean", full), ("Geomean pf. sens.", sensitive)]

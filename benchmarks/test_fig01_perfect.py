@@ -1,0 +1,37 @@
+"""Figure 1: Stride vs SMS vs Perfect prefetcher speedups.
+
+The paper's limit study: a perfect L1-D prefetcher gives ~2x geometric
+mean speedup (13.8x on libquantum), while Stride and SMS capture only
+part of it; several compute-bound benchmarks gain nothing.
+"""
+
+from repro_common import append_geomeans, single_speedups
+from conftest import SINGLE_BUDGET
+
+from repro.analysis import render_table
+
+COLUMNS = ["stride", "sms", "perfect"]
+
+
+def test_fig01_perfect_prefetcher_limit_study(runner, archive, benchmark):
+    def experiment():
+        rows = single_speedups(runner, COLUMNS, SINGLE_BUDGET)
+        return append_geomeans(rows, COLUMNS)
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    archive(
+        "fig01_perfect",
+        render_table("Fig. 1: speedup vs no-prefetch baseline", rows, COLUMNS),
+    )
+    table = dict(rows)
+    geo = table["Geomean"]
+    sens = table["Geomean pf. sens."]
+    # shape checks from the paper
+    assert geo["perfect"] > geo["sms"] > 1.0
+    assert geo["perfect"] > geo["stride"] > 1.0
+    assert sens["perfect"] > geo["perfect"]
+    # compute-bound benchmarks gain ~nothing even under the oracle
+    for bench in ("calculix", "gamess", "gromacs"):
+        assert table[bench]["perfect"] < 1.25
+    # libquantum is the outlier with the largest headroom
+    assert table["libquantum"]["perfect"] > 5.0

@@ -1,0 +1,75 @@
+"""Future-work reproduction: B-Fetch-I instruction prefetching.
+
+Section III-C: "In our future work we plan to examine how our path
+confidence estimation scheme might be used to further improve
+instruction prefetching."  This target builds an instruction-footprint-
+heavy workload (sequential mega-blocks totalling ~85KB of code against
+the 64KB L1I) and lets the lookahead walk prefetch the instruction
+blocks of predicted basic blocks into the L1I.
+"""
+
+from conftest import SINGLE_BUDGET
+
+from repro.analysis import render_table
+from repro.core import BFetchConfig
+from repro.sim import SystemConfig
+from repro.sim.runner import scaled
+from repro.sim.system import System
+from repro.workloads import Workload
+from repro.workloads.builder import ProgramBuilder
+from repro.workloads.patterns import (
+    R_ACC,
+    R_B1,
+    R_SEED,
+    R_W0,
+    R_W1,
+    R_W2,
+    emit_bigcode,
+)
+
+
+def _bigcode_workload():
+    body = ProgramBuilder("bigcode")
+    body.label("outer")
+    emit_bigcode(body, iters=100, blocks=256, body_instrs=80)
+    body.br("outer")
+    body.halt()
+    final = ProgramBuilder("bigcode")
+    for reg, value in ((R_ACC, 0), (R_SEED, 1), (R_W0, 1), (R_W1, 2),
+                       (R_W2, 3), (R_B1, 0x2000000)):
+        final.li(reg, value)
+    final.append_builder(body)
+    return Workload("bigcode", final.build(), {})
+
+
+def test_futurework_instruction_prefetch(archive, benchmark):
+    instructions = scaled(SINGLE_BUDGET // 2)
+    workload = _bigcode_workload()
+
+    def experiment():
+        rows = []
+        for label, flag in (("bfetch", False), ("bfetch-i", True)):
+            config = SystemConfig(
+                prefetcher="bfetch",
+                bfetch=BFetchConfig(instruction_prefetch=flag),
+            )
+            system = System(workload, config)
+            result = system.run(instructions)
+            stats = system.hierarchy.l1i.stats
+            rows.append((label, {
+                "ipc": result.ipc,
+                "l1i misses": float(stats.misses),
+                "covered": float(stats.prefetch_useful),
+            }))
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    archive(
+        "futurework_ifetch",
+        render_table("Future work: B-Fetch-I on an 85KB-code workload",
+                     rows, ["ipc", "l1i misses", "covered"]),
+    )
+    table = dict(rows)
+    assert table["bfetch-i"]["covered"] > 100
+    assert table["bfetch-i"]["l1i misses"] < table["bfetch"]["l1i misses"]
+    assert table["bfetch-i"]["ipc"] >= table["bfetch"]["ipc"]

@@ -1,0 +1,70 @@
+"""Light-weight vs heavy-weight prefetcher classes (paper Section III).
+
+The paper classifies prefetchers as light-weight (Next-N, Stride, SMS,
+B-Fetch) or heavy-weight (STeMS, ISB) and argues the heavy class buys
+its accuracy with metadata storage that "may not be feasible" under
+energy constraints.  This target measures both classes on the same
+workloads and prints speedup next to *measured* metadata footprint --
+the heavy designs' footprint grows with the working set (the originals
+keep it off-chip: multiple MB for STeMS, ~8MB for ISB).
+"""
+
+from conftest import SINGLE_BUDGET
+
+from repro.analysis import render_table
+from repro.sim import SystemConfig, geomean
+from repro.sim.runner import scaled
+from repro.sim.system import System
+from repro.workloads import build_workload
+
+BENCH_SUBSET = ("mcf", "astar", "soplex", "libquantum", "milc", "sphinx")
+PREFETCHERS = ("stride", "sms", "bfetch", "isb", "stems")
+
+
+def test_heavyweight_class_comparison(runner, archive, benchmark):
+    instructions = scaled(SINGLE_BUDGET)
+
+    def experiment():
+        rows = []
+        storage = {}
+        for bench in BENCH_SUBSET:
+            base = runner.run_single(bench, "none", instructions)
+            values = {}
+            for prefetcher in PREFETCHERS:
+                # heavy-weight metadata grows per-run: simulate directly so
+                # the prefetcher instance (and its final footprint) is live
+                system = System(build_workload(bench),
+                                SystemConfig(prefetcher=prefetcher))
+                result = system.run(instructions)
+                values[prefetcher] = result.ipc / base.ipc
+                bits = system.prefetcher.storage_bits()
+                storage[prefetcher] = max(storage.get(prefetcher, 0), bits)
+            rows.append((bench, values))
+        means = {p: geomean(v[p] for _, v in rows) for p in PREFETCHERS}
+        rows.append(("Geomean", means))
+        rows.append(("peak state KB",
+                     {p: storage[p] / 8192.0 for p in PREFETCHERS}))
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    archive(
+        "heavyweight_class",
+        render_table("Light-weight vs heavy-weight prefetchers",
+                     rows, list(PREFETCHERS)),
+    )
+    table = dict(rows)
+    state = table["peak state KB"]
+    # the class boundary: B-Fetch's fixed ~13KB vs footprint-proportional
+    # metadata (the originals keep megabytes of it off-chip)
+    assert state["bfetch"] < 14
+    assert state["isb"] > state["bfetch"]
+    assert state["stems"] > state["sms"]  # SMS tables + the temporal log
+    # the light-weight class helps on this memory-bound subset; the
+    # simplified heavy-weight models must at least do no harm
+    means = table["Geomean"]
+    for prefetcher in ("stride", "sms", "bfetch"):
+        assert means[prefetcher] > 1.0
+    for prefetcher in ("isb", "stems"):
+        assert means[prefetcher] > 0.99
+    # B-Fetch stays the best light-weight design
+    assert means["bfetch"] >= means["sms"]

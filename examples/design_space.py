@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""B-Fetch design-space exploration on one benchmark.
+
+Sweeps the two knobs the paper studies in its sensitivity analysis --
+path-confidence threshold (Fig. 12) and table storage (Fig. 15) -- plus
+the per-load filter threshold, and prints speedup / accuracy / mean
+lookahead depth for each point.
+
+    python examples/design_space.py [benchmark]
+"""
+
+import sys
+
+from repro import ExperimentRunner, SystemConfig
+from repro.core import BFetchConfig
+
+INSTRUCTIONS = 60_000
+
+
+def run_point(runner, benchmark, label, config):
+    base = runner.run_single(benchmark, "none", INSTRUCTIONS)
+    result = runner.run_single(
+        benchmark, "bfetch", INSTRUCTIONS,
+        SystemConfig(prefetcher="bfetch", bfetch=config),
+    )
+    stats = result.data["prefetch"]
+    resolved = stats["useful"] + stats["useless"]
+    accuracy = 100.0 * stats["useful"] / resolved if resolved else 0.0
+    print("  %-22s speedup=%.2fx depth=%4.1f accuracy=%5.1f%% issued=%d" % (
+        label,
+        result.ipc / base.ipc,
+        result.data["mean_lookahead_depth"],
+        accuracy,
+        stats["issued"],
+    ))
+
+
+def main():
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "leslie3d"
+    runner = ExperimentRunner()
+    print("benchmark: %s" % benchmark)
+
+    print("\npath-confidence threshold sweep (Fig. 12):")
+    for threshold in (0.45, 0.60, 0.75, 0.90):
+        run_point(runner, benchmark, "confidence %.2f" % threshold,
+                  BFetchConfig(path_confidence_threshold=threshold))
+
+    print("\nstorage sweep, BrTC/MHT entries (Fig. 15):")
+    for entries in (64, 128, 256, 512):
+        run_point(runner, benchmark, "%d BrTC entries" % entries,
+                  BFetchConfig.sized(entries))
+
+    print("\nper-load filter:")
+    run_point(runner, benchmark, "filter on (thr 3)", BFetchConfig())
+    run_point(runner, benchmark, "filter off",
+              BFetchConfig(use_filter=False))
+
+    print("\nloop detection:")
+    run_point(runner, benchmark, "loop prefetch on", BFetchConfig())
+    run_point(runner, benchmark, "loop prefetch off",
+              BFetchConfig(loop_prefetch=False))
+
+
+if __name__ == "__main__":
+    main()

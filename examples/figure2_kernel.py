@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The paper's Figure 2 scenario, hand-written in the reproduction ISA.
+
+Builds a kernel whose load address depends on *which way a data-dependent
+branch went* -- a per-PC stride table sees an irregular address stream,
+but each (branch, direction) pair leaves a stable offset from the walk
+register, which is exactly the correlation B-Fetch's MHT learns.
+
+The script runs the kernel under every prefetcher and then dumps the
+learned Memory History Table entries so you can see the path-specific
+offsets (one per branch direction).
+
+    python examples/figure2_kernel.py
+"""
+
+import random
+
+from repro.isa import assemble
+from repro.sim import System, SystemConfig
+from repro.workloads import Workload
+
+KERNEL = """
+        li   r9,  0x300000     ; predicate array
+        li   r12, 0x800000     ; record walk pointer
+outer:  li   r16, 400
+        li   r9,  0x300000
+loop:   load r5, 0(r9)         ; data-dependent direction
+        bnez r5, big
+        addi r12, r12, 64      ; small step
+        br   join
+big:    addi r12, r12, 320     ; large step
+join:   load r1, 0(r12)        ; the load B-Fetch must cover
+        add  r4, r4, r1
+        addi r9, r9, 8
+        subi r16, r16, 1
+        bnez r16, loop
+        br   outer
+        halt
+"""
+
+
+def build_workload():
+    rng = random.Random(42)
+    memory = {}
+    for i in range(400):
+        memory[0x300000 + i * 8] = 1 if rng.random() < 0.9 else 0
+    return Workload("figure2", assemble(KERNEL), memory)
+
+
+def main():
+    workload = build_workload()
+    instructions = 60_000
+
+    print("prefetcher comparison on the Fig. 2 kernel:")
+    baseline_ipc = None
+    for prefetcher in ("none", "stride", "sms", "bfetch"):
+        system = System(workload, SystemConfig(prefetcher=prefetcher))
+        system.core.run(instructions)
+        if baseline_ipc is None:
+            baseline_ipc = system.core.ipc
+        print("  %-7s ipc=%.3f speedup=%.2fx" % (
+            prefetcher, system.core.ipc, system.core.ipc / baseline_ipc))
+        if prefetcher == "bfetch":
+            bfetch_system = system
+
+    print("\nlearned MHT entries (register-history slots):")
+    prefetcher = bfetch_system.prefetcher
+    for index, entry in enumerate(prefetcher.mht.table):
+        if entry is None:
+            continue
+        for slot in entry.slots:
+            if not slot.valid:
+                continue
+            print(
+                "  entry %3d  branch tag 0x%x  reg r%-2d  offset %+5d  "
+                "loopdelta %+5d  pospatt %#04x"
+                % (index, entry.tag, slot.regidx, slot.offset,
+                   slot.loopdelta, slot.pospatt)
+            )
+    print(
+        "\nNote the walk register (r12) appears with distinct stable "
+        "offsets\nfor the two paths into the join block -- the paper's "
+        "Fig. 2 insight."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: compare prefetchers on one benchmark.
+
+Runs the `libquantum` stand-in (a DRAM-bound streaming workload) under
+no prefetching, Stride, SMS and B-Fetch, and prints IPC, speedup and
+prefetch accuracy for each.
+
+    python examples/quickstart.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro import ExperimentRunner
+
+PREFETCHERS = ("none", "stride", "sms", "bfetch")
+
+
+def main():
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "libquantum"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 80_000
+
+    runner = ExperimentRunner()
+    baseline = runner.run_single(benchmark, "none", instructions)
+
+    print("benchmark: %s  (%d instructions)" % (benchmark, instructions))
+    print("%-8s %7s %8s %9s %9s %9s" %
+          ("config", "IPC", "speedup", "useful", "useless", "accuracy"))
+    for prefetcher in PREFETCHERS:
+        result = runner.run_single(benchmark, prefetcher, instructions)
+        stats = result.data["prefetch"]
+        resolved = stats["useful"] + stats["useless"]
+        accuracy = stats["useful"] / resolved if resolved else float("nan")
+        print("%-8s %7.3f %7.2fx %9d %9d %8.1f%%" % (
+            prefetcher,
+            result.ipc,
+            result.ipc / baseline.ipc,
+            stats["useful"],
+            stats["useless"],
+            100 * accuracy,
+        ))
+
+    bfetch = runner.run_single(benchmark, "bfetch", instructions)
+    print("\nB-Fetch internals:")
+    print("  mean lookahead depth: %.1f basic blocks"
+          % bfetch.data["mean_lookahead_depth"])
+    print("  BrTC hit rate:        %.1f%%"
+          % (100 * bfetch.data["brtc_hit_rate"]))
+    print("  MHT hit rate:         %.1f%%"
+          % (100 * bfetch.data["mht_hit_rate"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Shim for environments without the `wheel` package (PEP 517 fallback);
+# all metadata lives in pyproject.toml.
+setup()

@@ -1,0 +1,31 @@
+"""Analyses behind the paper's motivation/cost figures.
+
+* :mod:`repro.analysis.variation` -- register-content vs effective-address
+  variation CDFs across basic blocks (Fig. 3a/3b).
+* :mod:`repro.analysis.overhead` -- hardware storage accounting
+  (Table I).
+* :mod:`repro.analysis.fetch_breakdown` -- branches-per-fetch-cycle
+  histogram (Fig. 7).
+* :mod:`repro.analysis.reporting` -- text rendering of tables/series.
+"""
+
+from repro.analysis.variation import VariationCDF, collect_variation
+from repro.analysis.overhead import bfetch_overhead_kb, overhead_table, sms_overhead_kb
+from repro.analysis.fetch_breakdown import fetch_branch_breakdown
+from repro.analysis.energy import EnergyModel, energy_comparison, prefetcher_energy
+from repro.analysis.reporting import render_cdf, render_series, render_table
+
+__all__ = [
+    "collect_variation",
+    "VariationCDF",
+    "overhead_table",
+    "bfetch_overhead_kb",
+    "sms_overhead_kb",
+    "fetch_branch_breakdown",
+    "EnergyModel",
+    "prefetcher_energy",
+    "energy_comparison",
+    "render_table",
+    "render_series",
+    "render_cdf",
+]

@@ -1,0 +1,30 @@
+"""Branches-fetched-per-cycle breakdown (Fig. 7).
+
+The paper argues the main branch predictor has spare prediction
+bandwidth for B-Fetch because fetch groups almost never contain more
+than two branches.  The timing core tracks, for every cycle that fetched
+at least one branch, how many branches that group held; this module
+aggregates those histograms across runs.
+"""
+
+
+def fetch_branch_breakdown(results):
+    """Aggregate per-run fetch-branch histograms into fractions.
+
+    :param results: iterable of :class:`~repro.sim.RunResult` (each has a
+        ``fetch_branch_hist`` of counts indexed 1..4).
+    :returns: dict ``{1: frac, 2: frac, 3: frac, 4: frac}`` over cycles
+        that fetched at least one branch, plus ``"cumulative_2"`` -- the
+        paper's ">=99.95% of fetch cycles hold at most two branches".
+    """
+    totals = [0] * 5
+    for result in results:
+        hist = result.data["fetch_branch_hist"]
+        for count in range(1, 5):
+            totals[count] += hist[count]
+    branch_cycles = sum(totals[1:])
+    if not branch_cycles:
+        return {1: 0.0, 2: 0.0, 3: 0.0, 4: 0.0, "cumulative_2": 1.0}
+    breakdown = {n: totals[n] / branch_cycles for n in range(1, 5)}
+    breakdown["cumulative_2"] = breakdown[1] + breakdown[2]
+    return breakdown

@@ -1,0 +1,102 @@
+"""Hardware storage accounting (Table I).
+
+Bit budgets follow the paper's Table I fields:
+
+=====================================  =======  ========
+B-Fetch component                      entries  size (KB)
+=====================================  =======  ========
+Branch Trace Cache                     256      2.06
+Memory History Table                   128      4.50
+Alternate Register File                32       0.156
+Per-Load Prefetch Filter               2048     2.25
+Additional cache bits                  --       1.37
+Prefetch Queue                         100      0.51
+Path Confidence Estimator              2048     2.00
+TOTAL                                           12.84
+SMS (AGT 64 + PHT 16K)                          36.57
+=====================================  =======  ========
+
+Per-entry bit widths are reconstructed from Fig. 5/Fig. 6 and the table's
+totals; see EXPERIMENTS.md for the two fields where the paper's packing
+is under-specified (BrTC entry layout, SMS PHT compression).
+"""
+
+_KB = 8 * 1024  # bits per KB
+
+# per-entry bit widths reconstructed from the paper
+BRTC_ENTRY_BITS = 66          # 2.06KB / 256 entries
+MHT_ENTRY_BITS = 32 + 3 * 85  # Fig. 6: tag + 3 register-history slots
+ARF_ENTRY_BITS = 40           # 32-bit value + 8-bit sequence
+FILTER_COUNTER_BITS = 3       # 3 tables x entries x 3 bits
+CACHE_LINE_EXTRA_BITS = 11    # 10-bit load PC hash + 1 useful bit
+PREFETCH_QUEUE_ENTRY_BITS = 42
+PATH_CONF_ENTRY_BITS = 8      # 2KB / 2048 entries
+SMS_AGT_ENTRY_BITS = 73       # 0.57KB / 64 entries
+SMS_PHT_ENTRY_BITS = 18       # 36KB / 16K entries (compressed pattern)
+
+
+def bfetch_overhead_kb(brtc_entries=256, mht_entries=128, arf_entries=32,
+                       filter_entries=2048, filter_tables=3,
+                       l1d_size=64 * 1024, block_bytes=64,
+                       queue_entries=100, path_conf_entries=2048):
+    """Component-wise B-Fetch storage in KB, keyed like Table I."""
+    lines = l1d_size // block_bytes
+    components = {
+        "Branch Trace Cache": brtc_entries * BRTC_ENTRY_BITS / _KB,
+        "Memory History Table": mht_entries * MHT_ENTRY_BITS / _KB,
+        "Alternate Register File": arf_entries * ARF_ENTRY_BITS / _KB,
+        "Per-Load Prefetch Filter":
+            filter_tables * filter_entries * FILTER_COUNTER_BITS / _KB,
+        "Additional Cache bits": lines * CACHE_LINE_EXTRA_BITS / _KB,
+        "Prefetch Queue": queue_entries * PREFETCH_QUEUE_ENTRY_BITS / _KB,
+        "Path Confidence Estimator":
+            path_conf_entries * PATH_CONF_ENTRY_BITS / _KB,
+    }
+    components["TOTAL"] = sum(components.values())
+    return components
+
+
+def sms_overhead_kb(agt_entries=64, pht_entries=16 * 1024):
+    """Component-wise SMS storage in KB (paper's practical config)."""
+    components = {
+        "Active Generation Table": agt_entries * SMS_AGT_ENTRY_BITS / _KB,
+        "Pattern History Table": pht_entries * SMS_PHT_ENTRY_BITS / _KB,
+    }
+    components["TOTAL"] = sum(components.values())
+    return components
+
+
+def storage_saving_vs_sms():
+    """The headline claim: B-Fetch needs ~65% less storage than SMS."""
+    bf = bfetch_overhead_kb()["TOTAL"]
+    sms = sms_overhead_kb()["TOTAL"]
+    return 1.0 - bf / sms
+
+
+def overhead_table():
+    """Render Table I as ``(rows, total_bf, total_sms)``."""
+    bf = bfetch_overhead_kb()
+    sms = sms_overhead_kb()
+    entries = {
+        "Branch Trace Cache": 256,
+        "Memory History Table": 128,
+        "Alternate Register File": 32,
+        "Per-Load Prefetch Filter": 2048,
+        "Additional Cache bits": None,
+        "Prefetch Queue": 100,
+        "Path Confidence Estimator": 2048,
+        "Active Generation Table": 64,
+        "Pattern History Table": 16 * 1024,
+    }
+    rows = []
+    for name, size in bf.items():
+        if name == "TOTAL":
+            continue
+        rows.append(("B-Fetch", name, entries.get(name), size))
+    rows.append(("B-Fetch", "TOTAL SIZE", None, bf["TOTAL"]))
+    for name, size in sms.items():
+        if name == "TOTAL":
+            continue
+        rows.append(("SMS", name, entries.get(name), size))
+    rows.append(("SMS", "TOTAL SIZE", None, sms["TOTAL"]))
+    return rows, bf["TOTAL"], sms["TOTAL"]

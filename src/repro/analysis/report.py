@@ -1,0 +1,82 @@
+"""Consolidated experiment report generation.
+
+Collects the archived experiment renders (``benchmarks/results/*.txt``)
+into a single markdown report, with a required-experiment checklist so
+a partial benchmark run is visible at a glance.  Used by maintainers to
+refresh the measured side of EXPERIMENTS.md:
+
+    python -c "from repro.analysis.report import write_report; \\
+               write_report('benchmarks/results', 'REPORT.md')"
+"""
+
+import os
+
+# experiment id -> (archive stem, one-line description)
+EXPERIMENT_INDEX = [
+    ("Fig. 1", "fig01_perfect", "Stride/SMS/Perfect limit study"),
+    ("Fig. 3", "fig03_variation", "register vs EA variation CDFs"),
+    ("Fig. 7", "fig07_branch_fetch", "branches per fetch cycle"),
+    ("Fig. 8", "fig08_single", "single-threaded speedups"),
+    ("Fig. 9", "fig09_mix2", "mix-2 weighted speedups"),
+    ("Fig. 10", "fig10_mix4", "mix-4 weighted speedups"),
+    ("Fig. 11", "fig11_useful", "useful vs useless prefetches"),
+    ("Fig. 12", "fig12_confidence", "path-confidence threshold sweep"),
+    ("Fig. 13", "fig13_bp_size", "branch predictor size sweep"),
+    ("Fig. 14", "fig14_width", "pipeline width sweep"),
+    ("Fig. 15", "fig15_storage", "B-Fetch storage sweep"),
+    ("Table I", "table1_overhead", "hardware storage overhead"),
+    ("Table II", "table2_config", "baseline configuration"),
+    ("Ext: ablations", "ablation_tango", "EA-history vs register-state"),
+    ("Ext: filter", "ablation_filter", "per-load filter ablation"),
+    ("Ext: loops", "ablation_loop", "loop detection ablation"),
+    ("Ext: ARF", "ablation_arf", "ARF sampling ablation"),
+    ("Ext: mix-8", "mix8_preliminary", "8-application mixes"),
+    ("Ext: heavy", "heavyweight_class", "heavy-weight prefetcher class"),
+    ("Ext: energy", "energy_overhead", "dynamic energy comparison"),
+    ("Ext: LLC", "llc_policy", "LLC policy under prefetching"),
+    ("Ext: perceptron", "futurework_predictor", "future-work predictor"),
+    ("Ext: B-Fetch-I", "futurework_ifetch", "instruction prefetching"),
+    ("Ext: seeds", "variability", "across-seed robustness"),
+]
+
+
+def collect_results(results_dir):
+    """Return ``(present, missing)`` lists of experiment-index entries."""
+    present = []
+    missing = []
+    for entry in EXPERIMENT_INDEX:
+        path = os.path.join(results_dir, entry[1] + ".txt")
+        (present if os.path.exists(path) else missing).append(entry)
+    return present, missing
+
+
+def build_report(results_dir):
+    """Render the consolidated markdown report as a string."""
+    present, missing = collect_results(results_dir)
+    lines = ["# Reproduction report", ""]
+    lines.append("%d/%d experiments present in `%s`."
+                 % (len(present), len(EXPERIMENT_INDEX), results_dir))
+    if missing:
+        lines.append("")
+        lines.append("Missing: " + ", ".join(e[0] for e in missing))
+    for label, stem, description in present:
+        path = os.path.join(results_dir, stem + ".txt")
+        with open(path) as handle:
+            body = handle.read().rstrip()
+        lines.append("")
+        lines.append("## %s — %s" % (label, description))
+        lines.append("")
+        lines.append("```")
+        lines.append(body)
+        lines.append("```")
+    return "\n".join(lines) + "\n"
+
+
+def write_report(results_dir, out_path):
+    """Write the consolidated report; returns the number of experiments
+    included."""
+    report = build_report(results_dir)
+    with open(out_path, "w") as handle:
+        handle.write(report)
+    present, _ = collect_results(results_dir)
+    return len(present)

@@ -1,0 +1,36 @@
+"""Branch prediction substrate.
+
+Provides the direction predictors (bimodal, gshare, local, tournament), a
+branch target buffer, the per-branch confidence estimators (JRS, up-down,
+self-counter and Jimenez's composite), and the Malik-style multiplicative
+path-confidence tracker used by B-Fetch's lookahead throttle.
+"""
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.gshare import GsharePredictor
+from repro.branch.local import LocalPredictor
+from repro.branch.perceptron import PerceptronPredictor
+from repro.branch.tournament import TournamentConfig, TournamentPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.confidence import (
+    CompositeConfidenceEstimator,
+    JRSEstimator,
+    SelfCounterEstimator,
+    UpDownEstimator,
+)
+from repro.branch.path_confidence import PathConfidence
+
+__all__ = [
+    "BimodalPredictor",
+    "GsharePredictor",
+    "LocalPredictor",
+    "TournamentPredictor",
+    "TournamentConfig",
+    "PerceptronPredictor",
+    "BranchTargetBuffer",
+    "JRSEstimator",
+    "UpDownEstimator",
+    "SelfCounterEstimator",
+    "CompositeConfidenceEstimator",
+    "PathConfidence",
+]

@@ -1,0 +1,46 @@
+"""Bimodal (per-PC 2-bit saturating counter) direction predictor."""
+
+
+class BimodalPredictor:
+    """The classic Smith predictor: a table of 2-bit counters indexed by PC.
+
+    :param entries: number of counters (power of two).
+    :param counter_bits: saturating counter width (default 2).
+    """
+
+    name = "bimodal"
+
+    def __init__(self, entries=4096, counter_bits=2):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.max_count = (1 << counter_bits) - 1
+        self.threshold = 1 << (counter_bits - 1)
+        self.table = [self.threshold] * entries
+        self._mask = entries - 1
+        self.counter_bits = counter_bits
+
+    def _index(self, pc):
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc, history=0):
+        """Predict taken/not-taken for the branch at *pc*.
+
+        *history* is accepted (and ignored) so all predictors share one
+        speculative-lookup signature.
+        """
+        return self.table[self._index(pc)] >= self.threshold
+
+    def update(self, pc, taken):
+        """Train with the resolved outcome."""
+        index = self._index(pc)
+        count = self.table[index]
+        if taken:
+            if count < self.max_count:
+                self.table[index] = count + 1
+        elif count > 0:
+            self.table[index] = count - 1
+
+    def storage_bits(self):
+        """Total predictor state in bits (for Table-I-style accounting)."""
+        return self.entries * self.counter_bits

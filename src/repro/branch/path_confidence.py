@@ -1,0 +1,48 @@
+"""Path confidence tracking (Malik et al., PaCo-style).
+
+The probability that an entire speculative path is correct is the product
+of the per-branch correctness probabilities along it.  B-Fetch terminates
+its lookahead when this product drops below a threshold (0.75 in the
+paper's Table II).
+"""
+
+
+class PathConfidence:
+    """Multiplicative path-confidence accumulator.
+
+    Use one instance per lookahead walk::
+
+        path = PathConfidence(threshold=0.75)
+        while path.confident:
+            ...
+            path.extend(estimator.probability(branch_pc, spec_history))
+    """
+
+    __slots__ = ("threshold", "value", "depth")
+
+    def __init__(self, threshold=0.75, initial=1.0):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.threshold = threshold
+        self.value = initial
+        self.depth = 0
+
+    @property
+    def confident(self):
+        """True while the accumulated path probability clears the threshold."""
+        return self.value >= self.threshold
+
+    def extend(self, branch_probability):
+        """Multiply in one more predicted branch; returns the new value."""
+        if not 0.0 <= branch_probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.value *= branch_probability
+        self.depth += 1
+        return self.value
+
+    def __repr__(self):
+        return "PathConfidence(value=%.4f, depth=%d, threshold=%.2f)" % (
+            self.value,
+            self.depth,
+            self.threshold,
+        )

@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``      one benchmark under one prefetcher, full stats dump
+``compare``  one benchmark under several prefetchers (speedup table)
+``mix``      a multiprogrammed mix on the shared-LLC CMP
+``table1``   the Table I storage-overhead accounting
+``list``     available benchmarks and prefetchers
+"""
+
+import argparse
+import sys
+
+from repro.analysis import overhead_table, render_table
+from repro.sim import CMPSystem, ExperimentRunner, SystemConfig
+from repro.sim.config import PREFETCHER_NAMES
+from repro.sim.metrics import weighted_speedup
+from repro.workloads import BENCHMARKS, build_workload
+from repro.workloads.spec import PROFILES
+
+
+def _add_common(parser):
+    parser.add_argument("-n", "--instructions", type=int, default=100_000,
+                        help="dynamic instructions to simulate")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for memoised results")
+
+
+def cmd_run(args):
+    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    result = runner.run_single(args.benchmark, args.prefetcher,
+                               args.instructions)
+    for key, value in sorted(result.as_dict().items()):
+        print("%-22s %s" % (key, value))
+    return 0
+
+
+def cmd_compare(args):
+    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    base = runner.run_single(args.benchmark, "none", args.instructions)
+    rows = []
+    for prefetcher in args.prefetchers:
+        result = runner.run_single(args.benchmark, prefetcher,
+                                   args.instructions)
+        rows.append((prefetcher, {
+            "ipc": result.ipc,
+            "speedup": result.ipc / base.ipc,
+            "useful": float(result.data["prefetch"]["useful"]),
+            "useless": float(result.data["prefetch"]["useless"]),
+        }))
+    print(render_table("%s (%d instructions)"
+                       % (args.benchmark, args.instructions),
+                       rows, ["ipc", "speedup", "useful", "useless"]))
+    return 0
+
+
+def cmd_mix(args):
+    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    singles = [
+        runner.run_single(name, "none", args.instructions).ipc
+        for name in args.apps
+    ]
+    baseline = None
+    rows = []
+    for prefetcher in args.prefetchers:
+        cmp_system = CMPSystem(
+            [build_workload(name) for name in args.apps],
+            SystemConfig(prefetcher=prefetcher),
+        )
+        results = cmp_system.run(args.instructions)
+        ws = weighted_speedup([r.ipc for r in results], singles)
+        if baseline is None:
+            baseline = ws
+        rows.append((prefetcher, {
+            "wspeedup": ws,
+            "normalized": ws / baseline,
+        }))
+    print(render_table("mix: %s" % "+".join(args.apps), rows,
+                       ["wspeedup", "normalized"]))
+    return 0
+
+
+def cmd_table1(args):
+    rows, bf_total, sms_total = overhead_table()
+    for owner, name, entries, size in rows:
+        print("%-8s %-28s %8s %8.3f KB"
+              % (owner, name, entries if entries else "-", size))
+    print("B-Fetch uses %.0f%% less storage than SMS"
+          % (100 * (1 - bf_total / sms_total)))
+    return 0
+
+
+def cmd_list(args):
+    print("benchmarks:")
+    for name in BENCHMARKS:
+        print("  %-12s (%s)" % (name, PROFILES[name].klass))
+    print("prefetchers:")
+    for name in PREFETCHER_NAMES:
+        print("  %s" % name)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="B-Fetch (MICRO-2014) reproduction simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one benchmark/prefetcher")
+    run.add_argument("benchmark", choices=BENCHMARKS)
+    run.add_argument("prefetcher", choices=PREFETCHER_NAMES)
+    _add_common(run)
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="compare prefetchers")
+    compare.add_argument("benchmark", choices=BENCHMARKS)
+    compare.add_argument("--prefetchers", nargs="+",
+                         default=["stride", "sms", "bfetch"],
+                         choices=PREFETCHER_NAMES)
+    _add_common(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    mix = sub.add_parser("mix", help="run a multiprogrammed mix")
+    mix.add_argument("apps", nargs="+", choices=BENCHMARKS)
+    mix.add_argument("--prefetchers", nargs="+",
+                     default=["none", "sms", "bfetch"],
+                     choices=PREFETCHER_NAMES)
+    _add_common(mix)
+    mix.set_defaults(func=cmd_mix)
+
+    table1 = sub.add_parser("table1", help="storage overhead accounting")
+    table1.set_defaults(func=cmd_table1)
+
+    lister = sub.add_parser("list", help="list benchmarks and prefetchers")
+    lister.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

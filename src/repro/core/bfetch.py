@@ -1,0 +1,283 @@
+"""The B-Fetch prefetch engine (Section IV).
+
+Event wiring (raised by the timing core):
+
+* ``on_branch_decode`` -- a branch entered the Decoded Branch Register;
+  run one lookahead walk down the predicted path.
+* ``on_commit`` -- architectural training: BrTC linking, MHT offset /
+  loop-delta / pattern learning, ARF write scheduling, and the
+  register-file snapshot taken at each branch.
+* ``feedback`` -- per-load filter training from cache-line outcomes.
+
+The engine needs read access to the main pipeline's branch predictor and
+confidence estimator (Section IV-C argues the predictor has the spare
+ports); call :meth:`BFetchPrefetcher.attach` during system assembly.
+"""
+
+from repro.branch.path_confidence import PathConfidence
+from repro.core.arf import AlternateRegisterFile
+from repro.core.brtc import BranchTraceCache
+from repro.core.config import BFetchConfig
+from repro.core.hashing import bb_hash, load_pc_hash
+from repro.core.mht import MemoryHistoryTable
+from repro.core.perload_filter import PerLoadFilter
+from repro.prefetchers.base import Prefetcher
+
+_MASK64 = (1 << 64) - 1
+
+
+class BFetchPrefetcher(Prefetcher):
+    """Branch-prediction-directed data prefetcher."""
+
+    name = "bfetch"
+
+    def __init__(self, config=None):
+        self.config = config or BFetchConfig()
+        cfg = self.config
+        super().__init__(cfg.queue_capacity)
+        self.brtc = BranchTraceCache(cfg.brtc_entries)
+        self.mht = MemoryHistoryTable(cfg.mht_entries, cfg.mht_reg_slots)
+        self.arf = AlternateRegisterFile(delay=cfg.arf_delay)
+        self.filter = PerLoadFilter(
+            cfg.filter_tables,
+            cfg.filter_entries,
+            cfg.filter_counter_bits,
+            cfg.filter_threshold,
+            cfg.filter_initial,
+        )
+        self.predictor = None
+        self.confidence = None
+        # trainer state
+        self._prev_hash = None  # keys the BB we are currently committing
+        self._prev_tag = None
+        self._branch_snapshot = None  # register values at the leading branch
+        self._bb_primary_ea = {}  # regidx -> primary load EA this BB execution
+        self._commit_seq = 0
+        # lookahead statistics
+        self.walks = 0
+        self.total_depth = 0
+        self.candidates = 0
+        self.filtered = 0
+
+    # ------------------------------------------------------------------
+
+    def attach(self, predictor, confidence):
+        """Connect the main pipeline's predictor and confidence estimator."""
+        self.predictor = predictor
+        self.confidence = confidence
+
+    @property
+    def mean_lookahead_depth(self):
+        """Average basic blocks walked per lookahead (paper reports ~8)."""
+        return self.total_depth / self.walks if self.walks else 0.0
+
+    # ------------------------------------------------------------------
+    # training (commit-time)
+
+    def on_commit(self, instr, ea, taken, next_pc, regs, now):
+        self._commit_seq += 1
+        rd = instr.rd
+        if rd is not None and rd != 31:
+            # value becomes ARF-visible when the writer completes execution;
+            # `now` is the core-supplied completion estimate
+            self.arf.write(rd, regs[rd], self._commit_seq, now)
+        if instr.is_branch:
+            self._train_branch(instr, taken, next_pc, now)
+        elif instr.is_load:
+            self._train_load(instr, ea)
+
+    def _train_branch(self, instr, taken, next_pc, now):
+        pc = instr.pc
+        # taken target: direct branches expose it at decode; indirect ones
+        # only when actually taken
+        if instr.target is not None:
+            taken_target = instr.pc + 4 * (instr.target - instr.index)
+        elif taken:
+            taken_target = next_pc
+        else:
+            taken_target = None
+        if self._prev_hash is not None:
+            self.brtc.update(self._prev_hash, self._prev_tag, pc, taken_target)
+        self._prev_hash = bb_hash(pc, taken, next_pc)
+        self._prev_tag = pc & 0xFFFFFFFF
+        # RegVal is read into the MHT *from the ARF* (Section IV-B2), not
+        # from precise architectural state: training and lookahead must
+        # observe the same sampling lag, so the learned Offset absorbs it
+        # and the in-flight distance cancels at prefetch time.
+        self.arf.sync(now)
+        self._branch_snapshot = list(self.arf.values)
+        self._bb_primary_ea.clear()
+
+    def _train_load(self, instr, ea):
+        if self._prev_hash is None:
+            return
+        cfg = self.config
+        regidx = instr.ra
+        primary_ea = self._bb_primary_ea.get(regidx)
+        entry = self.mht.get_or_allocate(self._prev_hash, self._prev_tag)
+        if primary_ea is not None:
+            if not cfg.pattern_prefetch:
+                return
+            # secondary load off the same register: learn the block pattern
+            slot = entry.slot_for(regidx, allocate=False)
+            if slot is None or not slot.valid:
+                return
+            delta_blocks = (ea >> 6) - (primary_ea >> 6)
+            if 1 <= delta_blocks <= cfg.pattern_bits:
+                slot.pospatt |= 1 << (delta_blocks - 1)
+            elif -cfg.pattern_bits <= delta_blocks <= -1:
+                slot.negpatt |= 1 << (-delta_blocks - 1)
+            return
+        self._bb_primary_ea[regidx] = ea
+        slot = entry.slot_for(regidx, allocate=True)
+        offset = ea - self._branch_snapshot[regidx]
+        if abs(offset) > cfg.offset_limit:
+            # not representable in the 16-bit field: the slot cannot cover
+            # this load (the per-load filter will suppress stale issues)
+            slot.valid = False
+            slot.stable = 0
+            slot.last_ea = ea
+            return
+        if slot.valid and offset == slot.offset:
+            if slot.stable < 3:
+                slot.stable += 1
+        elif slot.stable > 0:
+            slot.stable -= 1
+        if slot.last_ea is not None:
+            loopdelta = ea - slot.last_ea
+            if abs(loopdelta) <= cfg.loopdelta_limit:
+                slot.loopdelta = loopdelta
+            else:
+                slot.loopdelta = 0
+        slot.offset = offset
+        slot.regval = self._branch_snapshot[regidx] & 0xFFFFFFFF
+        slot.last_ea = ea
+        slot.load_hash = load_pc_hash(instr.pc)
+        slot.valid = True
+
+    # ------------------------------------------------------------------
+    # lookahead (decode-time)
+
+    def on_branch_decode(self, pc, pred_taken, target, now):
+        """Run one lookahead walk starting at the decoded branch."""
+        if self.predictor is None:
+            raise RuntimeError("BFetchPrefetcher.attach() was never called")
+        cfg = self.config
+        self.arf.sync(now)
+        self.walks += 1
+
+        spec_history = self.predictor.history
+        path = PathConfidence(cfg.path_confidence_threshold)
+        path.extend(self.confidence.probability(pc, spec_history))
+        if not path.confident:
+            return
+        if pred_taken:
+            if target is None:
+                return  # indirect branch without a known target
+            next_pc = target
+        else:
+            next_pc = pc + 4
+        state_hash = bb_hash(pc, pred_taken, next_pc)
+        state_tag = pc & 0xFFFFFFFF
+        spec_history = (spec_history << 1) | (1 if pred_taken else 0)
+
+        visits = {}
+        depth = 0
+        entry_pc = next_pc
+        while depth < cfg.max_lookahead:
+            depth += 1
+            revisit = visits.get(state_hash, 0)
+            visits[state_hash] = revisit + 1
+            self._prefetch_block(state_hash, state_tag, revisit)
+            step = self.brtc.lookup(state_hash, state_tag)
+            if step is None:
+                break
+            end_pc, end_taken_target = step
+            if cfg.instruction_prefetch and end_pc >= entry_pc:
+                self._prefetch_instr_range(entry_pc, end_pc)
+            direction = self.predictor.predict(end_pc, spec_history)
+            path.extend(self.confidence.probability(end_pc, spec_history))
+            if not path.confident:
+                break
+            if direction:
+                if end_taken_target is None:
+                    break
+                next_pc = end_taken_target
+            else:
+                next_pc = end_pc + 4
+            state_hash = bb_hash(end_pc, direction, next_pc)
+            state_tag = end_pc & 0xFFFFFFFF
+            spec_history = (spec_history << 1) | (1 if direction else 0)
+            entry_pc = next_pc
+        self.total_depth += depth
+
+    def _prefetch_instr_range(self, start_pc, end_pc):
+        """B-Fetch-I: queue the instruction blocks of one predicted basic
+        block (entry PC through its terminating branch)."""
+        block_bytes = self.config.block_bytes
+        first = start_pc & ~(block_bytes - 1)
+        last = end_pc & ~(block_bytes - 1)
+        limit = self.config.max_instr_blocks
+        block = first
+        while block <= last and limit > 0:
+            self.push_instr(block)
+            block += block_bytes
+            limit -= 1
+
+    def _prefetch_block(self, state_hash, state_tag, revisit):
+        """Stage 2+3: register lookup and prefetch-address calculation."""
+        entry = self.mht.lookup(state_hash, state_tag)
+        if entry is None:
+            return
+        cfg = self.config
+        block_bytes = cfg.block_bytes
+        arf_values = self.arf.values
+        for slot in entry.slots:
+            if not slot.valid or not slot.stable:
+                continue
+            self.candidates += 1
+            if cfg.use_filter and not self.filter.allow(slot.load_hash):
+                self.filtered += 1
+                continue
+            ea = arf_values[slot.regidx] + slot.offset
+            if cfg.loop_prefetch and revisit:
+                ea += revisit * slot.loopdelta
+            ea &= _MASK64
+            self.push(ea, slot.load_hash)
+            if not cfg.pattern_prefetch:
+                continue
+            block = ea & ~(block_bytes - 1)
+            pattern = slot.pospatt
+            step = 1
+            while pattern:
+                if pattern & 1:
+                    self.push(block + step * block_bytes, slot.load_hash)
+                pattern >>= 1
+                step += 1
+            pattern = slot.negpatt
+            step = 1
+            while pattern:
+                if pattern & 1:
+                    self.push((block - step * block_bytes) & _MASK64,
+                              slot.load_hash)
+                pattern >>= 1
+                step += 1
+
+    # ------------------------------------------------------------------
+
+    def feedback(self, meta, outcome):
+        """Cache-line outcome: update stats and train the per-load filter."""
+        super().feedback(meta, outcome)
+        if meta is not None:
+            self.filter.update(meta, outcome != "useless")
+
+    def storage_bits(self):
+        """Sum of Table I components (cache bits are counted by the
+        overhead analysis since they live in the L1D, not the engine)."""
+        return (
+            self.brtc.storage_bits()
+            + self.mht.storage_bits()
+            + self.arf.storage_bits()
+            + self.filter.storage_bits()
+            + self.config.queue_capacity * 42  # prefetch queue (42-bit reqs)
+        )

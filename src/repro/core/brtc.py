@@ -1,0 +1,60 @@
+"""Branch Trace Cache (BrTC).
+
+"The BrTC captures the dynamic control flow sequence of a program and
+constructs future lookahead paths across multiple BBs" (Section IV-B1).
+Indexed by the :func:`~repro.core.hashing.bb_hash` of (branch PC,
+direction, target) -- i.e. by the basic block being *entered* -- each
+entry names the branch that *ends* that block and that branch's taken
+target, which is everything the lookahead needs to take the next step.
+Entries are installed at commit time only.
+"""
+
+
+class BranchTraceCache:
+    """Direct-mapped BrTC with 32-bit branch-PC tags."""
+
+    def __init__(self, entries=256):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self.tags = [None] * entries
+        self.end_branch_pc = [0] * entries
+        self.end_taken_target = [None] * entries
+        self.lookups = 0
+        self.hits = 0
+
+    def lookup(self, index_hash, tag):
+        """Return ``(end_branch_pc, taken_target)`` for the block keyed by
+        *index_hash*, or None on miss/tag mismatch."""
+        self.lookups += 1
+        slot = index_hash & self._mask
+        if self.tags[slot] != tag:
+            return None
+        self.hits += 1
+        return self.end_branch_pc[slot], self.end_taken_target[slot]
+
+    def update(self, index_hash, tag, end_branch_pc, taken_target):
+        """Commit-time install: the block keyed by *index_hash* ends at
+        *end_branch_pc* whose taken target is *taken_target* (None when it
+        has not been observed, e.g. an indirect branch never seen taken)."""
+        slot = index_hash & self._mask
+        if (
+            self.tags[slot] == tag
+            and self.end_branch_pc[slot] == end_branch_pc
+            and taken_target is None
+        ):
+            return  # keep a known target rather than clearing it
+        self.tags[slot] = tag
+        self.end_branch_pc[slot] = end_branch_pc
+        self.end_taken_target[slot] = taken_target
+
+    @property
+    def hit_rate(self):
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def storage_bits(self):
+        # tag(32) + end branch PC(32) + target(32) + valid  (Table I: 2.06KB
+        # at 256 entries assumes the paper's 32-bit-folded fields; ours adds
+        # an explicit target per the indirect-branch extension)
+        return self.entries * (32 + 32 + 1)

@@ -1,0 +1,15 @@
+"""CPU models: functional interpreter and the cycle-stepped O3 timing core."""
+
+from repro.cpu.functional import HaltError, Machine
+from repro.cpu.ooo import CoreConfig, OutOfOrderCore
+from repro.cpu.trace import TraceReplay, capture_trace, save_trace
+
+__all__ = [
+    "Machine",
+    "HaltError",
+    "OutOfOrderCore",
+    "CoreConfig",
+    "TraceReplay",
+    "capture_trace",
+    "save_trace",
+]

@@ -1,0 +1,288 @@
+"""Cycle-stepped out-of-order core timing model.
+
+A trace-driven approximation of the paper's 4-wide, 192-entry-ROB gem5 O3
+baseline (Table II).  Per cycle the model retires up to ``width``
+completed instructions in order, drains the prefetch queue at a bounded
+rate, and fetches/dispatches up to ``width`` instructions:
+
+* operand readiness is tracked per architectural register, so dependence
+  chains serialise exactly as far as their producers' latencies demand;
+* loads access the cache hierarchy when their operands are ready and
+  complete after the returned latency -- this is the lever prefetching
+  acts on;
+* a mispredicted branch stalls fetch until the branch resolves (its own
+  operands ready) plus a redirect penalty -- the flush bubble;
+* a predicted-taken branch ends the fetch group (one taken redirect per
+  cycle), which is what makes the Fig. 7 branches-per-fetch-cycle
+  histogram meaningful;
+* the ROB bounds in-flight instructions, recreating ROB-full stalls under
+  long-latency misses.
+
+The model is deliberately idle-cycle-skipping: when fetch cannot proceed
+(flush bubble or full ROB) the clock jumps to the next event, which makes
+memory-bound regions cheap to simulate without changing any outcome.
+"""
+
+from repro.isa.opcodes import Op
+
+_FETCH_HIST_BUCKETS = 4
+
+
+class CoreConfig:
+    """Pipeline parameters (defaults = paper Table II)."""
+
+    def __init__(
+        self,
+        width=4,
+        rob_entries=192,
+        redirect_penalty=3,
+        alu_latency=1,
+        mul_latency=3,
+        store_latency=1,
+        prefetch_drain_rate=2,
+        block_bytes=64,
+    ):
+        self.width = width
+        self.rob_entries = rob_entries
+        self.redirect_penalty = redirect_penalty
+        self.alu_latency = alu_latency
+        self.mul_latency = mul_latency
+        self.store_latency = store_latency
+        self.prefetch_drain_rate = prefetch_drain_rate
+        self.block_bytes = block_bytes
+
+
+class OutOfOrderCore:
+    """One core: functional machine + predictor + hierarchy + prefetcher."""
+
+    def __init__(self, machine, hierarchy, predictor, confidence, btb,
+                 prefetcher, config=None):
+        self.machine = machine
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.confidence = confidence
+        self.btb = btb
+        self.prefetcher = prefetcher
+        self.config = config or CoreConfig()
+        # pipeline state
+        self.cycle = 0
+        self.reg_ready = [0] * 32
+        self.rob = []  # completion times, ring-buffer style
+        self._rob_head = 0
+        self.fetch_stall_until = 0
+        self._fetch_block = -1
+        # counters
+        self.retired = 0
+        self.budget = 0
+        self.done = False
+        self.cond_branches = 0
+        self.branches = 0
+        self.mispredicts = 0
+        self.fetch_branch_hist = [0] * (_FETCH_HIST_BUCKETS + 1)
+        self.fetch_cycles = 0
+
+    # ------------------------------------------------------------------
+
+    def start(self, budget):
+        """Arm the core to retire *budget* instructions."""
+        self.budget = budget
+        self.done = False
+
+    def _rob_len(self):
+        return len(self.rob) - self._rob_head
+
+    def step_cycle(self, now):
+        """Advance one cycle at time *now*; return the next time this core
+        has work to do (``now + 1`` while actively fetching)."""
+        cfg = self.config
+        width = cfg.width
+        rob = self.rob
+
+        # retire (in order, up to width)
+        head = self._rob_head
+        retired = self.retired
+        limit = head + width
+        rob_len = len(rob)
+        while head < rob_len and head < limit and rob[head] <= now:
+            head += 1
+            retired += 1
+        self._rob_head = head
+        self.retired = retired
+        if head > 4096:  # compact the ring buffer
+            del rob[:head]
+            self._rob_head = 0
+            head = 0
+        if retired >= self.budget:
+            self.done = True
+            return now + 1
+
+        # drain queued prefetches into the hierarchy
+        prefetcher = self.prefetcher
+        if prefetcher is not None and len(prefetcher.queue):
+            prefetcher.drain(self.hierarchy, now, cfg.prefetch_drain_rate)
+
+        # fetch / dispatch
+        fetched = 0
+        branches_in_group = 0
+        rob_cap = cfg.rob_entries
+        if now >= self.fetch_stall_until:
+            machine = self.machine
+            hierarchy = self.hierarchy
+            dispatched_total = retired + (len(rob) - self._rob_head)
+            while (
+                fetched < width
+                and len(rob) - self._rob_head < rob_cap
+                and dispatched_total < self.budget
+            ):
+                instr, taken, ea = machine.step()
+                pc = instr.pc
+                block = pc >> 6
+                if block != self._fetch_block:
+                    self._fetch_block = block
+                    ifetch_latency = hierarchy.ifetch(pc, now)
+                    if ifetch_latency > hierarchy.config.l1_latency:
+                        self.fetch_stall_until = now + ifetch_latency
+                fetched += 1
+                dispatched_total += 1
+                group_ends = self._dispatch(instr, taken, ea, now)
+                if instr.is_branch:
+                    branches_in_group += 1
+                if group_ends:
+                    break
+        if fetched:
+            self.fetch_cycles += 1
+            if branches_in_group:
+                bucket = min(branches_in_group, _FETCH_HIST_BUCKETS)
+                self.fetch_branch_hist[bucket] += 1
+            return now + 1
+
+        # idle: jump to the next event
+        candidates = []
+        if self._rob_head < len(rob):
+            candidates.append(rob[self._rob_head])
+        if now < self.fetch_stall_until:
+            candidates.append(self.fetch_stall_until)
+        if prefetcher is not None and len(prefetcher.queue):
+            return now + 1  # keep draining at full rate
+        if not candidates:
+            return now + 1
+        return max(now + 1, min(candidates))
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, instr, taken, ea, now):
+        """Dispatch one instruction; returns True if the fetch group ends."""
+        cfg = self.config
+        reg_ready = self.reg_ready
+        op = instr.op
+
+        ready = now + 1
+        ra = instr.ra
+        if ra is not None and reg_ready[ra] > ready:
+            ready = reg_ready[ra]
+        rb = instr.rb
+        if op == Op.STORE or (rb is not None and instr.is_alu):
+            if rb is not None and reg_ready[rb] > ready:
+                ready = reg_ready[rb]
+
+        group_ends = False
+        prefetcher = self.prefetcher
+
+        if op == Op.LOAD:
+            if prefetcher is not None and prefetcher.is_perfect:
+                latency = self.hierarchy.access_oracle(ea, ready)
+            else:
+                latency, hit = self.hierarchy.load(ea, ready)
+                if prefetcher is not None:
+                    prefetcher.on_load(instr.pc, ea, hit, now)
+            complete = ready + latency
+            reg_ready[instr.rd] = complete
+        elif op == Op.STORE:
+            if prefetcher is not None and prefetcher.is_perfect:
+                self.hierarchy.access_oracle(ea, ready)
+            else:
+                self.hierarchy.store(ea, ready)
+                if prefetcher is not None:
+                    prefetcher.on_store(instr.pc, ea, True, now)
+            complete = ready + cfg.store_latency
+        elif instr.is_branch:
+            complete = ready + cfg.alu_latency
+            group_ends = self._handle_branch(instr, taken, now, complete)
+            self.branches += 1
+        else:
+            if op == Op.MUL:
+                complete = ready + cfg.mul_latency
+            else:
+                complete = ready + cfg.alu_latency
+            if instr.rd is not None:
+                reg_ready[instr.rd] = complete
+        self.rob.append(complete)
+        if prefetcher is not None:
+            prefetcher.on_commit(
+                instr, ea, taken, self.machine.pc, self.machine.regs, complete
+            )
+        return group_ends
+
+    def _handle_branch(self, instr, taken, now, resolve_time):
+        """Predict, train, trigger B-Fetch, apply flush penalties."""
+        cfg = self.config
+        pc = instr.pc
+        actual_next = self.machine.pc
+        op = instr.op
+
+        if instr.is_cond_branch:
+            history = self.predictor.history
+            predicted = self.predictor.predict(pc)
+            correct = predicted == taken
+            self.cond_branches += 1
+            if not correct:
+                self.mispredicts += 1
+            self.confidence.update(pc, history, correct, taken)
+            self.predictor.update(pc, taken)
+            taken_target = pc + 4 * (instr.target - instr.index)
+            if self.prefetcher is not None:
+                self.prefetcher.on_branch_decode(pc, predicted, taken_target, now)
+            if not correct:
+                self.fetch_stall_until = resolve_time + cfg.redirect_penalty
+                return True
+            return predicted  # predicted-taken ends the fetch group
+        if op == Op.JR:
+            predicted_target = self.btb.lookup(pc)
+            self.btb.update(pc, actual_next)
+            correct = predicted_target == actual_next
+            # train the confidence estimator on indirect targets too, so
+            # the lookahead's path confidence reflects JR predictability
+            self.confidence.update(pc, self.predictor.history, correct, True)
+            if self.prefetcher is not None:
+                self.prefetcher.on_branch_decode(pc, True, predicted_target, now)
+            if not correct:
+                self.mispredicts += 1
+                self.fetch_stall_until = resolve_time + cfg.redirect_penalty
+            return True
+        # direct unconditional: target known at decode, no mispredict
+        taken_target = pc + 4 * (instr.target - instr.index)
+        self.confidence.update(pc, self.predictor.history, True, True)
+        if self.prefetcher is not None:
+            self.prefetcher.on_branch_decode(pc, True, taken_target, now)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def run(self, budget):
+        """Run standalone until *budget* instructions retire; returns the
+        cycle count."""
+        self.start(budget)
+        now = self.cycle
+        step = self.step_cycle
+        while not self.done:
+            now = step(now)
+        self.cycle = now
+        return now
+
+    @property
+    def ipc(self):
+        return self.retired / self.cycle if self.cycle else 0.0
+
+    @property
+    def mispredict_rate(self):
+        return self.mispredicts / self.cond_branches if self.cond_branches else 0.0

@@ -1,0 +1,107 @@
+"""Dynamic-trace capture and replay.
+
+Simulator hygiene tooling: capture the architectural instruction stream
+of a workload once, then replay it deterministically -- useful for
+debugging prefetcher behaviour on a frozen stream, for diffing two
+simulator versions, and for shipping regression traces.
+
+The trace format is a compact text file, one record per dynamic
+instruction::
+
+    <static index> <taken:0|1> <ea|->
+
+plus a header binding the trace to its program (name + instruction
+count) so replays cannot be paired with the wrong workload.
+"""
+
+import io
+
+from repro.cpu.functional import Machine
+
+_HEADER = "#repro-trace v1"
+
+
+def capture_trace(workload, instructions):
+    """Run *workload* functionally and return the trace as a string."""
+    machine = Machine(workload.program, dict(workload.memory))
+    out = io.StringIO()
+    out.write("%s program=%s instrs=%d\n"
+              % (_HEADER, workload.name, len(workload.program)))
+    for _ in range(instructions):
+        instr, taken, ea = machine.step()
+        out.write("%d %d %s\n" % (
+            instr.index, 1 if taken else 0,
+            "-" if ea is None else format(ea, "x"),
+        ))
+    return out.getvalue()
+
+
+def save_trace(path, workload, instructions):
+    """Capture and write a trace file; returns the record count."""
+    text = capture_trace(workload, instructions)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text.count("\n") - 1
+
+
+class TraceReplay:
+    """Replays a captured trace through the :class:`Machine` interface.
+
+    Exposes the subset of the machine API the timing core uses
+    (``step``, ``pc``, ``regs``), so a :class:`~repro.cpu.OutOfOrderCore`
+    can be driven from a file instead of live execution.  Register values
+    are not part of the trace; ``regs`` stays zero, which is sufficient
+    for every prefetcher except B-Fetch's register-anchored speculation
+    (replay is for miss-driven prefetcher debugging and A/B timing runs).
+    """
+
+    def __init__(self, program, text):
+        lines = text.splitlines()
+        if not lines or not lines[0].startswith(_HEADER):
+            raise ValueError("not a repro trace file")
+        header = dict(
+            field.split("=") for field in lines[0].split()[2:]
+        )
+        if int(header["instrs"]) != len(program):
+            raise ValueError(
+                "trace was captured from a different program "
+                "(%s static instrs vs %d)" % (header["instrs"], len(program))
+            )
+        self.program = program
+        self.name = header["program"]
+        self._records = lines[1:]
+        self._position = 0
+        self.regs = [0] * 32
+        self.instret = 0
+        self._next_index = 0
+
+    @classmethod
+    def load(cls, program, path):
+        with open(path) as handle:
+            return cls(program, handle.read())
+
+    @property
+    def pc(self):
+        return self.program.pc_of(self._next_index)
+
+    @property
+    def exhausted(self):
+        return self._position >= len(self._records)
+
+    def step(self):
+        """Return the next ``(instr, taken, ea)`` record."""
+        if self.exhausted:
+            raise StopIteration("trace exhausted")
+        fields = self._records[self._position].split()
+        self._position += 1
+        index = int(fields[0])
+        instr = self.program.instrs[index]
+        taken = fields[1] == "1"
+        ea = None if fields[2] == "-" else int(fields[2], 16)
+        # derive the follow-on PC for the core's next_pc bookkeeping
+        if self._position < len(self._records):
+            self._next_index = int(self._records[self._position].split()[0])
+        else:
+            self._next_index = index
+        self.instret += 1
+        return instr, taken, ea

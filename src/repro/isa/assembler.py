@@ -1,0 +1,136 @@
+"""A tiny textual assembler.
+
+Only used by tests, docs, and hand-written example kernels; generated
+workloads build :class:`~repro.isa.Instr` lists directly.  Syntax::
+
+    start:  li    r1, 100
+    loop:   load  r2, 8(r3)        ; comment
+            add   r4, r4, r2
+            addi  r3, r3, 8
+            subi  r1, r1, 1
+            bnez  r1, loop
+            halt
+
+Registers are ``r0``-``r31``; immediates accept decimal and ``0x`` hex;
+memory operands are ``imm(rN)``.
+"""
+
+import re
+
+from repro.isa.instructions import Instr
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\((r\d+)\)$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):")
+
+_REG_REG = {Op.ADD, Op.SUB, Op.MUL, Op.XOR, Op.AND, Op.OR, Op.SLL, Op.SRL,
+            Op.CMPEQ, Op.CMPLT}
+_REG_IMM = {Op.ADDI, Op.SUBI, Op.ANDI, Op.SLLI, Op.SRLI}
+_BRANCH_COND = {Op.BEQZ, Op.BNEZ, Op.BLTZ, Op.BGEZ}
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input, with a line number."""
+
+
+def _reg(token, lineno):
+    if not token.startswith("r"):
+        raise AssemblerError("line %d: expected register, got %r" % (lineno, token))
+    try:
+        value = int(token[1:])
+    except ValueError:
+        raise AssemblerError("line %d: bad register %r" % (lineno, token))
+    if not 0 <= value < 32:
+        raise AssemblerError("line %d: register %r out of range" % (lineno, token))
+    return value
+
+
+def _imm(token, lineno):
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError("line %d: bad immediate %r" % (lineno, token))
+
+
+def assemble(text, base_pc=0x1000, name="asm"):
+    """Assemble *text* into a :class:`~repro.isa.Program`."""
+    instrs = []
+    labels = {}
+    pending = []  # (instr, label, lineno) for forward references
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        while line:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            labels[match.group(1)] = len(instrs)
+            line = line[match.end():].strip()
+        if not line:
+            continue
+        parts = line.replace(",", " ").split()
+        mnemonic = parts[0].lower()
+        operands = parts[1:]
+        try:
+            op = Op[mnemonic.upper()]
+        except KeyError:
+            raise AssemblerError("line %d: unknown mnemonic %r" % (lineno, mnemonic))
+        instr = _parse_operands(op, operands, lineno, pending)
+        instrs.append(instr)
+    for instr, label, lineno in pending:
+        if label not in labels:
+            raise AssemblerError("line %d: undefined label %r" % (lineno, label))
+        instr.target = labels[label]
+    return Program(instrs, labels=labels, base_pc=base_pc, name=name)
+
+
+def _parse_operands(op, operands, lineno, pending):
+    def expect(count):
+        if len(operands) != count:
+            raise AssemblerError(
+                "line %d: %s expects %d operands, got %d"
+                % (lineno, op.name.lower(), count, len(operands))
+            )
+
+    if op in _REG_REG:
+        expect(3)
+        return Instr(op, rd=_reg(operands[0], lineno), ra=_reg(operands[1], lineno),
+                     rb=_reg(operands[2], lineno))
+    if op in _REG_IMM:
+        expect(3)
+        return Instr(op, rd=_reg(operands[0], lineno), ra=_reg(operands[1], lineno),
+                     imm=_imm(operands[2], lineno))
+    if op == Op.LI:
+        expect(2)
+        return Instr(op, rd=_reg(operands[0], lineno), imm=_imm(operands[1], lineno))
+    if op == Op.MOV:
+        expect(2)
+        return Instr(op, rd=_reg(operands[0], lineno), ra=_reg(operands[1], lineno))
+    if op in (Op.LOAD, Op.STORE):
+        expect(2)
+        match = _MEM_RE.match(operands[1])
+        if not match:
+            raise AssemblerError(
+                "line %d: bad memory operand %r" % (lineno, operands[1]))
+        imm = int(match.group(1), 0)
+        base = _reg(match.group(2), lineno)
+        if op == Op.LOAD:
+            return Instr(op, rd=_reg(operands[0], lineno), ra=base, imm=imm)
+        return Instr(op, rb=_reg(operands[0], lineno), ra=base, imm=imm)
+    if op in _BRANCH_COND:
+        expect(2)
+        instr = Instr(op, ra=_reg(operands[0], lineno))
+        pending.append((instr, operands[1], lineno))
+        return instr
+    if op == Op.BR:
+        expect(1)
+        instr = Instr(op)
+        pending.append((instr, operands[0], lineno))
+        return instr
+    if op == Op.JR:
+        expect(1)
+        return Instr(op, ra=_reg(operands[0], lineno))
+    if op in (Op.NOP, Op.HALT):
+        expect(0)
+        return Instr(op)
+    raise AssemblerError("line %d: unhandled opcode %s" % (lineno, op.name))

@@ -1,0 +1,83 @@
+"""Opcode definitions and classification predicates.
+
+Opcodes are plain ``IntEnum`` members so the interpreter can dispatch on
+integers; classification sets are precomputed frozensets, which keeps the
+per-instruction cost of ``is_branch``/``is_mem`` at a single hash lookup.
+"""
+
+from enum import IntEnum
+
+
+class Op(IntEnum):
+    """Instruction opcodes of the reproduction ISA."""
+
+    # ALU register-register
+    ADD = 1
+    SUB = 2
+    MUL = 3
+    XOR = 4
+    AND = 5
+    OR = 6
+    SLL = 7
+    SRL = 8
+    CMPEQ = 9
+    CMPLT = 10
+    # ALU register-immediate
+    ADDI = 11
+    SUBI = 12
+    ANDI = 13
+    SLLI = 14
+    SRLI = 15
+    LI = 16  # rd <- imm
+    MOV = 17  # rd <- ra
+    # memory
+    LOAD = 18  # rd <- mem[ra + imm]
+    STORE = 19  # mem[ra + imm] <- rb
+    # control flow
+    BEQZ = 20  # if ra == 0 goto target
+    BNEZ = 21  # if ra != 0 goto target
+    BLTZ = 22  # if ra < 0 (signed) goto target
+    BGEZ = 23  # if ra >= 0 (signed) goto target
+    BR = 24  # unconditional direct
+    JR = 25  # unconditional indirect, pc <- ra
+    # misc
+    NOP = 26
+    HALT = 27
+
+
+COND_BRANCHES = frozenset({Op.BEQZ, Op.BNEZ, Op.BLTZ, Op.BGEZ})
+UNCOND_BRANCHES = frozenset({Op.BR, Op.JR})
+BRANCHES = COND_BRANCHES | UNCOND_BRANCHES
+LOADS = frozenset({Op.LOAD})
+STORES = frozenset({Op.STORE})
+MEM_OPS = LOADS | STORES
+IMM_ALU = frozenset({Op.ADDI, Op.SUBI, Op.ANDI, Op.SLLI, Op.SRLI, Op.LI, Op.MOV})
+REG_ALU = frozenset(
+    {Op.ADD, Op.SUB, Op.MUL, Op.XOR, Op.AND, Op.OR, Op.SLL, Op.SRL, Op.CMPEQ, Op.CMPLT}
+)
+ALU_OPS = IMM_ALU | REG_ALU
+
+
+def is_branch(op):
+    """Return True for any control-flow instruction (conditional or not)."""
+    return op in BRANCHES
+
+
+def is_cond_branch(op):
+    """Return True for conditional branches only."""
+    return op in COND_BRANCHES
+
+
+def is_load(op):
+    """Return True for load instructions."""
+    return op in LOADS
+
+
+def is_store(op):
+    """Return True for store instructions."""
+    return op in STORES
+
+
+def is_mem(op):
+    """Return True for loads and stores."""
+    return op in MEM_OPS

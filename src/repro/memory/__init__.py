@@ -1,0 +1,32 @@
+"""Memory-system substrate: caches, DRAM, hierarchy, prefetch queue, stats."""
+
+from repro.memory.cache import Cache, CacheStats, Line
+from repro.memory.dram import DramModel
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.prefetch_queue import PrefetchQueue
+from repro.memory.replacement import (
+    LRUPolicy,
+    PACManPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SRRIPPolicy,
+    make_policy,
+)
+from repro.memory.stats import PrefetchStats
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "Line",
+    "DramModel",
+    "MemoryHierarchy",
+    "HierarchyConfig",
+    "PrefetchQueue",
+    "PrefetchStats",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "SRRIPPolicy",
+    "PACManPolicy",
+    "make_policy",
+]

@@ -1,0 +1,190 @@
+"""Set-associative cache with LRU replacement and prefetch metadata.
+
+Each line carries the per-block state the paper adds for B-Fetch's per-load
+filter feedback (Section IV-B3): whether the block was brought in by a
+prefetch, a 10-bit hash of the originating load PC, and a "was it used"
+bit.  Lines also carry a ``ready`` cycle so in-flight (prefetched but not
+yet arrived) blocks occupy cache space -- this is what lets the model
+capture both prefetch *pollution* and prefetch *lateness* without a global
+event queue.
+"""
+
+
+class Line:
+    """One cache line's metadata."""
+
+    __slots__ = ("lru", "prefetched", "meta", "used", "ready", "dirty")
+
+    def __init__(self, lru, prefetched=False, meta=None, used=False, ready=0):
+        self.lru = lru
+        self.prefetched = prefetched
+        self.meta = meta
+        self.used = used
+        self.ready = ready
+        self.dirty = False
+
+
+class CacheStats:
+    """Demand / prefetch counters for one cache instance."""
+
+    __slots__ = (
+        "accesses",
+        "hits",
+        "misses",
+        "late_hits",
+        "prefetch_fills",
+        "prefetch_useful",
+        "prefetch_useless",
+        "evictions",
+        "writebacks",
+    )
+
+    def __init__(self):
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.late_hits = 0
+        self.prefetch_fills = 0
+        self.prefetch_useful = 0
+        self.prefetch_useless = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def miss_rate(self):
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class Cache:
+    """A set-associative cache over 64-byte blocks.
+
+    Addresses are byte addresses; all internal bookkeeping is per block.
+
+    :param name: label for reports ("L1D", "LLC", ...).
+    :param size_bytes: total capacity.
+    :param assoc: associativity (ways).
+    :param block_bytes: line size (64 in Table II).
+    :param eviction_listeners: callables ``fn(block_addr, line)`` invoked
+        whenever a line is evicted (used by SMS generation tracking and the
+        per-load filter's useless-prefetch feedback).
+    :param policy: optional :class:`~repro.memory.replacement
+        .ReplacementPolicy`; None keeps the inlined LRU fast path.
+    """
+
+    def __init__(self, name, size_bytes, assoc, block_bytes=64,
+                 eviction_listeners=None, policy=None):
+        if size_bytes % (assoc * block_bytes):
+            raise ValueError("size must be a multiple of assoc * block size")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.block_bytes = block_bytes
+        self.block_shift = block_bytes.bit_length() - 1
+        if 1 << self.block_shift != block_bytes:
+            raise ValueError("block size must be a power of two")
+        self.num_sets = size_bytes // (assoc * block_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("set count must be a power of two")
+        self._set_mask = self.num_sets - 1
+        self.sets = [dict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+        self.eviction_listeners = list(eviction_listeners or [])
+        self.policy = policy
+        self._tick = 0
+
+    def _set_of(self, block):
+        return self.sets[block & self._set_mask]
+
+    def block_of(self, addr):
+        """Return the block number for a byte address."""
+        return addr >> self.block_shift
+
+    def lookup(self, addr):
+        """Probe without side effects; return the :class:`Line` or None."""
+        block = addr >> self.block_shift
+        return self._set_of(block).get(block)
+
+    def access(self, addr, now=0):
+        """Demand access.  Returns the hit :class:`Line` or None on a miss.
+
+        Updates LRU state and hit/miss statistics.  Prefetch usefulness
+        accounting (first demand touch of a prefetched line) is left to the
+        hierarchy, which also owns the filter feedback.
+        """
+        block = addr >> self.block_shift
+        cache_set = self._set_of(block)
+        line = cache_set.get(block)
+        self.stats.accesses += 1
+        if line is None:
+            self.stats.misses += 1
+            return None
+        if self.policy is None:
+            self._tick += 1
+            line.lru = self._tick
+        else:
+            self.policy.on_hit(self, line)
+        self.stats.hits += 1
+        return line
+
+    def fill(self, addr, now=0, prefetched=False, meta=None, ready=None):
+        """Insert the block holding *addr*; return the evicted line or None.
+
+        If the block is already present the existing line is refreshed
+        instead (no eviction).
+        """
+        block = addr >> self.block_shift
+        cache_set = self._set_of(block)
+        policy = self.policy
+        self._tick += 1
+        line = cache_set.get(block)
+        if line is not None:
+            if policy is None:
+                line.lru = self._tick
+            else:
+                policy.on_hit(self, line)
+            return None
+        evicted = None
+        if len(cache_set) >= self.assoc:
+            if policy is None:
+                victim_block = min(cache_set, key=lambda b: cache_set[b].lru)
+            else:
+                victim_block = policy.select_victim(self, cache_set)
+            evicted = cache_set.pop(victim_block)
+            self.stats.evictions += 1
+            if evicted.dirty:
+                self.stats.writebacks += 1
+            if evicted.prefetched and not evicted.used:
+                self.stats.prefetch_useless += 1
+            for listener in self.eviction_listeners:
+                listener(victim_block << self.block_shift, evicted)
+        if ready is None:
+            ready = now
+        line = Line(self._tick, prefetched, meta, False, ready)
+        if policy is not None:
+            policy.on_fill(self, line, prefetched)
+        cache_set[block] = line
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return evicted
+
+    def invalidate(self, addr):
+        """Drop the block holding *addr* if present (no listener callbacks)."""
+        block = addr >> self.block_shift
+        self._set_of(block).pop(block, None)
+
+    def contains(self, addr):
+        """True if the block holding *addr* is resident (ready or not)."""
+        block = addr >> self.block_shift
+        return block in self._set_of(block)
+
+    def occupancy(self):
+        """Number of valid lines (for tests and pollution analyses)."""
+        return sum(len(s) for s in self.sets)
+
+    def flush(self):
+        """Empty the cache (listeners are not invoked)."""
+        for cache_set in self.sets:
+            cache_set.clear()

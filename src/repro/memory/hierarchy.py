@@ -1,0 +1,275 @@
+"""Three-level cache hierarchy with a shared LLC and DRAM behind it.
+
+Latencies follow the paper's Table II and stack on the way down: an L1 hit
+costs 2 cycles, an L2 hit 2+10, an LLC hit 2+10+20, and DRAM adds its own
+200-cycle latency plus channel queueing.  Prefetches fill the full path
+(LLC, L2, L1D) and occupy an L1 line immediately with a future ``ready``
+time, so pollution and lateness are both modelled.
+
+For multiprogrammed (CMP) runs, one :class:`~repro.memory.Cache` LLC and
+one :class:`~repro.memory.DramModel` are shared across the per-core
+hierarchies, which is where the inter-application contention the paper
+studies comes from.
+"""
+
+from repro.memory.cache import Cache
+from repro.memory.dram import DramModel
+
+
+class HierarchyConfig:
+    """Cache geometry and latency knobs (defaults = paper Table II)."""
+
+    def __init__(
+        self,
+        l1i_size=64 * 1024,
+        l1i_assoc=8,
+        l1d_size=64 * 1024,
+        l1d_assoc=8,
+        l1_latency=2,
+        l2_size=256 * 1024,
+        l2_assoc=8,
+        l2_latency=10,
+        llc_size_per_core=2 * 1024 * 1024,
+        llc_assoc=16,
+        llc_latency=20,
+        dram_latency=200,
+        # Table II's 12.8GB/s controller at the ~2GHz core clock implied
+        # by the 200-cycle (~100ns) DRAM latency = 6.4B/cycle = one 64B
+        # line per 10 core cycles
+        dram_cycles_per_transfer=10,
+        block_bytes=64,
+        mshr_entries=8,
+        llc_policy="lru",
+    ):
+        self.l1i_size = l1i_size
+        self.l1i_assoc = l1i_assoc
+        self.l1d_size = l1d_size
+        self.l1d_assoc = l1d_assoc
+        self.l1_latency = l1_latency
+        self.l2_size = l2_size
+        self.l2_assoc = l2_assoc
+        self.l2_latency = l2_latency
+        self.llc_size_per_core = llc_size_per_core
+        self.llc_assoc = llc_assoc
+        self.llc_latency = llc_latency
+        self.dram_latency = dram_latency
+        self.dram_cycles_per_transfer = dram_cycles_per_transfer
+        self.block_bytes = block_bytes
+        self.mshr_entries = mshr_entries
+        self.llc_policy = llc_policy
+
+    def make_llc(self, num_cores=1):
+        """Build the (shared) last-level cache for *num_cores* cores."""
+        policy = None
+        if self.llc_policy != "lru":
+            from repro.memory.replacement import make_policy
+            policy = make_policy(self.llc_policy)
+        return Cache(
+            "LLC",
+            self.llc_size_per_core * num_cores,
+            self.llc_assoc,
+            self.block_bytes,
+            policy=policy,
+        )
+
+    def make_dram(self):
+        return DramModel(self.dram_latency, self.dram_cycles_per_transfer)
+
+
+class MemoryHierarchy:
+    """Per-core L1I/L1D/L2 backed by a (possibly shared) LLC and DRAM.
+
+    :param config: :class:`HierarchyConfig`.
+    :param llc: shared LLC cache; created privately when None.
+    :param dram: shared DRAM model; created privately when None.
+    :param pf_feedback: optional callable ``fn(meta, outcome)`` invoked when
+        a prefetched line is first demanded (outcome "useful"/"late") or
+        evicted untouched (outcome "useless"); the system points this at
+        the active prefetcher's feedback hook.
+    """
+
+    def __init__(self, config=None, llc=None, dram=None, pf_feedback=None):
+        self.config = config or HierarchyConfig()
+        cfg = self.config
+        self.l1i = Cache("L1I", cfg.l1i_size, cfg.l1i_assoc, cfg.block_bytes)
+        self.l1d = Cache("L1D", cfg.l1d_size, cfg.l1d_assoc, cfg.block_bytes)
+        self.l2 = Cache("L2", cfg.l2_size, cfg.l2_assoc, cfg.block_bytes)
+        self.llc = llc if llc is not None else cfg.make_llc(1)
+        self.dram = dram if dram is not None else cfg.make_dram()
+        self.pf_feedback = pf_feedback
+        self.l1d.eviction_listeners.append(self._on_l1d_eviction)
+        self._block_mask = ~(cfg.block_bytes - 1)
+        # demand-miss MSHRs: bounded memory-level parallelism.  Prefetches
+        # run through the engine's own request queue instead (the paper's
+        # 100-entry prefetch queue), which is precisely why a prefetcher
+        # can stream data faster than the demand window can expose misses.
+        self._mshr = [0] * cfg.mshr_entries
+
+    # ------------------------------------------------------------------
+    # internal helpers
+
+    def _on_l1d_eviction(self, addr, line):
+        if line.prefetched and not line.used and self.pf_feedback is not None:
+            self.pf_feedback(line.meta, "useless")
+
+    def _miss_latency(self, addr, now):
+        """Service a demand L1D/L1I miss below L1; returns added latency."""
+        cfg = self.config
+        if self.l2.access(addr, now) is not None:
+            self.llc.access(addr, now)  # keep shared-LLC LRU warm
+            return cfg.l2_latency
+        if self.llc.access(addr, now) is not None:
+            self.l2.fill(addr, now)
+            return cfg.l2_latency + cfg.llc_latency
+        latency = (
+            cfg.l2_latency
+            + cfg.llc_latency
+            + self.dram.access(now, demand=True)
+        )
+        self.llc.fill(addr, now)
+        self.l2.fill(addr, now)
+        return latency
+
+    # ------------------------------------------------------------------
+    # demand interface
+
+    def load(self, addr, now, pc=None):
+        """Demand load; returns ``(latency, l1_hit)``.
+
+        A hit on an in-flight prefetched line waits for its ``ready`` cycle
+        (a *late* prefetch -- partial benefit, counted separately).
+        """
+        cfg = self.config
+        line = self.l1d.access(addr, now)
+        if line is not None:
+            latency = cfg.l1_latency
+            if line.ready > now:
+                latency += line.ready - now
+                self.l1d.stats.late_hits += 1
+                if line.prefetched and not line.used:
+                    line.used = True
+                    self.l1d.stats.prefetch_useful += 1
+                    if self.pf_feedback is not None:
+                        self.pf_feedback(line.meta, "late")
+            elif line.prefetched and not line.used:
+                line.used = True
+                self.l1d.stats.prefetch_useful += 1
+                if self.pf_feedback is not None:
+                    self.pf_feedback(line.meta, "useful")
+            return latency, True
+        # demand miss: allocate an MSHR (wait for one if all are busy)
+        mshr = self._mshr
+        slot = 0
+        earliest = mshr[0]
+        for index in range(1, len(mshr)):
+            if mshr[index] < earliest:
+                earliest = mshr[index]
+                slot = index
+        start = now if now > earliest else earliest
+        miss_latency = self._miss_latency(addr, start)
+        mshr[slot] = start + miss_latency
+        latency = (start - now) + cfg.l1_latency + miss_latency
+        self.l1d.fill(addr, now)
+        return latency, False
+
+    def access_oracle(self, addr, now):
+        """Perfect-prefetcher access: keeps cache contents warm but
+        bypasses MSHR and DRAM-channel accounting.
+
+        The Fig. 1 oracle makes every access "complete as if it were a
+        first-level cache hit"; letting it also saturate the modelled
+        DRAM channel would leak impossible queueing delays into the
+        instruction-fetch path.
+        """
+        if self.l1d.access(addr, now) is None:
+            if self.l2.access(addr, now) is None:
+                if self.llc.access(addr, now) is None:
+                    self.llc.fill(addr, now)
+                self.l2.fill(addr, now)
+            self.l1d.fill(addr, now)
+        return self.config.l1_latency
+
+    def store(self, addr, now, pc=None):
+        """Demand store (write-allocate); returns ``(latency, l1_hit)``.
+
+        The returned latency models occupancy, not commit stalling -- the
+        timing core drains stores through a store buffer.  The written
+        line is marked dirty; its eventual eviction is counted as a
+        writeback (statistical: writeback bandwidth is not charged to the
+        channel, see DESIGN.md non-goals).
+        """
+        result = self.load(addr, now, pc)
+        line = self.l1d.lookup(addr)
+        if line is not None:
+            line.dirty = True
+        return result
+
+    def ifetch(self, addr, now):
+        """Instruction fetch for one block; returns latency."""
+        cfg = self.config
+        line = self.l1i.access(addr, now)
+        if line is not None:
+            if line.ready > now:
+                self.l1i.stats.late_hits += 1
+                if line.prefetched and not line.used:
+                    line.used = True
+                    self.l1i.stats.prefetch_useful += 1
+                return cfg.l1_latency + (line.ready - now)
+            if line.prefetched and not line.used:
+                line.used = True
+                self.l1i.stats.prefetch_useful += 1
+            return cfg.l1_latency
+        latency = cfg.l1_latency + self._miss_latency(addr, now)
+        self.l1i.fill(addr, now)
+        return latency
+
+    def prefetch_instr(self, addr, now):
+        """Prefetch the instruction block holding *addr* into the L1I
+        (B-Fetch-I, the paper's instruction-prefetching future work)."""
+        if self.l1i.contains(addr):
+            return False
+        cfg = self.config
+        if self.l2.access(addr, now) is not None:
+            latency = cfg.l2_latency
+        elif self.llc.access(addr, now) is not None:
+            latency = cfg.l2_latency + cfg.llc_latency
+            self.l2.fill(addr, now)
+        else:
+            latency = (cfg.l2_latency + cfg.llc_latency
+                       + self.dram.access(now, demand=False))
+            self.llc.fill(addr, now)
+            self.l2.fill(addr, now)
+        self.l1i.fill(addr, now, prefetched=True, ready=now + latency)
+        return True
+
+    # ------------------------------------------------------------------
+    # prefetch interface
+
+    def prefetch(self, addr, now, meta=None):
+        """Issue a prefetch of the block holding *addr* into L1D.
+
+        Returns True if a fill was started, False if the block was already
+        resident (duplicate).  The line occupies L1D immediately with
+        ``ready`` set to the fill completion time; lower levels fill too.
+        """
+        if self.l1d.contains(addr):
+            return False
+        cfg = self.config
+        if self.l2.access(addr, now) is not None:
+            latency = cfg.l2_latency
+        elif self.llc.access(addr, now) is not None:
+            latency = cfg.l2_latency + cfg.llc_latency
+            self.l2.fill(addr, now)
+        else:
+            latency = (cfg.l2_latency + cfg.llc_latency
+                       + self.dram.access(now, demand=False))
+            self.llc.fill(addr, now)
+            self.l2.fill(addr, now)
+        self.l1d.fill(addr, now, prefetched=True, meta=meta, ready=now + latency)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def caches(self):
+        """All cache levels, nearest first."""
+        return [self.l1i, self.l1d, self.l2, self.llc]

@@ -1,0 +1,38 @@
+"""Prefetch accounting shared by every prefetcher.
+
+The paper's Fig. 11 reports *useful* (prefetched block demanded before
+eviction) versus *useless* (evicted untouched) prefetches; we additionally
+track *late* prefetches (demanded while still in flight -- partially
+useful) and queue drops.
+"""
+
+
+class PrefetchStats:
+    """Counters for one prefetcher instance."""
+
+    __slots__ = ("issued", "useful", "useless", "late", "dropped", "duplicate")
+
+    def __init__(self):
+        self.issued = 0
+        self.useful = 0
+        self.useless = 0
+        self.late = 0
+        self.dropped = 0
+        self.duplicate = 0
+
+    @property
+    def accuracy(self):
+        """Useful fraction of issued prefetches that have been resolved."""
+        resolved = self.useful + self.useless
+        return self.useful / resolved if resolved else 0.0
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        return (
+            "PrefetchStats(issued=%d, useful=%d, useless=%d, late=%d, "
+            "dropped=%d, duplicate=%d)"
+            % (self.issued, self.useful, self.useless, self.late,
+               self.dropped, self.duplicate)
+        )

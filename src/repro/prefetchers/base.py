@@ -1,0 +1,127 @@
+"""Common prefetcher interface.
+
+The timing core raises events as the instruction stream is processed; a
+prefetcher reacts by pushing block addresses into its bounded
+:class:`~repro.memory.PrefetchQueue`.  The system drains that queue into
+the memory hierarchy at a limited rate and routes usefulness feedback
+(useful / late / useless) back through :meth:`Prefetcher.feedback`.
+
+Miss-driven designs (next-n, stride, SMS) only implement ``on_load``;
+pipeline-driven designs (B-Fetch, Tango) also use ``on_branch_decode`` and
+``on_commit``.
+"""
+
+from collections import OrderedDict
+
+from repro.memory.prefetch_queue import PrefetchQueue
+from repro.memory.stats import PrefetchStats
+
+_RECENT_BLOCKS = 256  # issue-side dedup window (blocks)
+
+# queue meta sentinel marking an instruction-side (L1I) prefetch request
+IFETCH_META = ("ifetch",)
+
+
+class Prefetcher:
+    """Base class with no-op hooks; a "no prefetching" baseline as-is."""
+
+    name = "none"
+    is_perfect = False
+
+    def __init__(self, queue_capacity=100):
+        self.stats = PrefetchStats()
+        self.queue = PrefetchQueue(queue_capacity)
+        # recently-requested block filter: overlapping lookahead windows
+        # (every walk re-covers the previous walk's blocks shifted by one)
+        # would otherwise flood the bounded queue with repeats and starve
+        # the genuinely new requests at the front of the stream
+        self._recent = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # events raised by the timing core / system
+
+    def on_load(self, pc, addr, hit, now):
+        """A demand load at *pc* touched byte *addr* (L1 hit flag given)."""
+
+    def on_store(self, pc, addr, hit, now):
+        """A demand store; most prefetchers ignore stores."""
+
+    def on_branch_decode(self, pc, pred_taken, target, now):
+        """A branch was decoded in the main pipeline (B-Fetch trigger)."""
+
+    def on_commit(self, instr, ea, taken, next_pc, regs, now):
+        """An instruction committed, with its architectural side effects.
+
+        *next_pc* is the actual following PC (the resolved target for taken
+        branches); *regs* is the live architectural register file
+        (read-only use).
+        """
+
+    def on_l1d_eviction(self, addr, line):
+        """An L1D line was evicted (SMS generation tracking)."""
+
+    def feedback(self, meta, outcome):
+        """A prefetched block resolved: outcome in {useful, late, useless}."""
+        if outcome == "useful":
+            self.stats.useful += 1
+        elif outcome == "late":
+            self.stats.late += 1
+            self.stats.useful += 1
+        elif outcome == "useless":
+            self.stats.useless += 1
+        else:
+            raise ValueError("unknown prefetch outcome %r" % outcome)
+
+    # ------------------------------------------------------------------
+    # issuing
+
+    def push(self, addr, meta=None):
+        """Queue a prefetch request for the block containing *addr*.
+
+        Requests whose block was pushed within the last
+        :data:`_RECENT_BLOCKS` distinct blocks are suppressed as
+        duplicates.
+        """
+        block = addr >> 6
+        recent = self._recent
+        if block in recent:
+            recent.move_to_end(block)
+            self.stats.duplicate += 1
+            return
+        recent[block] = True
+        if len(recent) > _RECENT_BLOCKS:
+            recent.popitem(last=False)
+        before = self.queue.drops
+        self.queue.push(addr, meta)
+        self.stats.dropped += self.queue.drops - before
+
+    def push_instr(self, addr):
+        """Queue an instruction-side (L1I) prefetch request."""
+        self.push(addr, IFETCH_META)
+
+    def drain(self, hierarchy, now, allowance):
+        """Issue up to *allowance* queued requests into *hierarchy*."""
+        pop = self.queue.pop
+        issue = hierarchy.prefetch
+        for _ in range(allowance):
+            request = pop()
+            if request is None:
+                break
+            addr, meta = request
+            if meta is IFETCH_META:
+                issued = hierarchy.prefetch_instr(addr, now)
+            else:
+                issued = issue(addr, now, meta)
+            if issued:
+                self.stats.issued += 1
+            else:
+                self.stats.duplicate += 1
+
+    # ------------------------------------------------------------------
+
+    def storage_bits(self):
+        """Prefetcher state budget in bits (Table-I accounting)."""
+        return 0
+
+    def reset_stats(self):
+        self.stats = PrefetchStats()

@@ -1,0 +1,21 @@
+"""Perfect-prefetcher oracle for the Fig. 1 limit study.
+
+The paper defines the perfect prefetcher as one under which "all memory
+accesses complete as if they were first level cache hits".  Rather than
+enqueueing oracle prefetches, the timing core recognises ``is_perfect``
+and charges every demand load the L1 hit latency, while still performing
+the real hierarchy access so cache state, DRAM bandwidth and statistics
+stay live.
+"""
+
+from repro.prefetchers.base import Prefetcher
+
+
+class PerfectPrefetcher(Prefetcher):
+    """Marker prefetcher: all loads behave as L1 hits."""
+
+    name = "perfect"
+    is_perfect = True
+
+    def storage_bits(self):
+        return 0

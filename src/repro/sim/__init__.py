@@ -1,0 +1,19 @@
+"""System assembly, experiment running and metrics."""
+
+from repro.sim.config import SystemConfig, make_prefetcher
+from repro.sim.system import RunResult, System
+from repro.sim.cmp import CMPSystem
+from repro.sim.metrics import geomean, normalize, weighted_speedup
+from repro.sim.runner import ExperimentRunner
+
+__all__ = [
+    "SystemConfig",
+    "make_prefetcher",
+    "System",
+    "RunResult",
+    "CMPSystem",
+    "ExperimentRunner",
+    "geomean",
+    "normalize",
+    "weighted_speedup",
+]

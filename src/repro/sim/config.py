@@ -1,0 +1,158 @@
+"""Top-level system configuration and the prefetcher factory.
+
+:class:`SystemConfig` aggregates every knob of the simulated machine; the
+defaults reproduce the paper's Table II baseline.  Each sensitivity sweep
+in the evaluation overrides exactly one field (pipeline width for Fig. 14,
+``bp_scale`` for Fig. 13, the B-Fetch confidence threshold for Fig. 12,
+B-Fetch storage for Fig. 15).
+"""
+
+from repro.branch.perceptron import PerceptronPredictor
+from repro.branch.tournament import TournamentConfig, TournamentPredictor
+from repro.core.bfetch import BFetchPrefetcher
+from repro.core.config import BFetchConfig
+from repro.cpu.ooo import CoreConfig
+from repro.memory.hierarchy import HierarchyConfig
+from repro.prefetchers import (
+    ISBPrefetcher,
+    NextNPrefetcher,
+    Prefetcher,
+    PerfectPrefetcher,
+    SMSConfig,
+    SMSPrefetcher,
+    STeMSPrefetcher,
+    StridePrefetcher,
+    TangoPrefetcher,
+)
+
+PREFETCHER_NAMES = (
+    "none", "nextn", "stride", "sms", "perfect", "tango", "bfetch",
+    "isb", "stems",
+)
+
+
+class SystemConfig:
+    """Whole-system parameters (paper Table II defaults).
+
+    :param width: pipeline width (fetch/issue/retire).
+    :param bp_scale: tournament-predictor size multiplier (Fig. 13).
+    :param prefetcher: one of :data:`PREFETCHER_NAMES`.
+    """
+
+    def __init__(
+        self,
+        width=4,
+        rob_entries=192,
+        bp_scale=1.0,
+        prefetcher="none",
+        core=None,
+        hierarchy=None,
+        bfetch=None,
+        sms=None,
+        stride_degree=8,
+        nextn_degree=4,
+        branch_predictor="tournament",
+    ):
+        if branch_predictor not in ("tournament", "perceptron"):
+            raise ValueError(
+                "unknown branch predictor %r" % (branch_predictor,)
+            )
+        if prefetcher not in PREFETCHER_NAMES:
+            raise ValueError(
+                "unknown prefetcher %r (choose from %s)"
+                % (prefetcher, ", ".join(PREFETCHER_NAMES))
+            )
+        self.width = width
+        self.rob_entries = rob_entries
+        self.bp_scale = bp_scale
+        self.prefetcher = prefetcher
+        self.core = core or CoreConfig(width=width, rob_entries=rob_entries)
+        self.hierarchy = hierarchy or HierarchyConfig()
+        self.bfetch = bfetch or BFetchConfig()
+        self.sms = sms or SMSConfig()
+        self.stride_degree = stride_degree
+        self.nextn_degree = nextn_degree
+        self.branch_predictor = branch_predictor
+
+    def tournament_config(self):
+        return TournamentConfig(scale=self.bp_scale)
+
+    def make_predictor(self):
+        """Build the configured direction predictor."""
+        if self.branch_predictor == "perceptron":
+            entries = max(16, int(512 * self.bp_scale))
+            entries = 1 << (entries.bit_length() - 1)
+            return PerceptronPredictor(entries=entries)
+        return TournamentPredictor(self.tournament_config())
+
+    def key(self):
+        """Stable identity tuple for result caching."""
+        bf = self.bfetch
+        return (
+            self.width,
+            self.rob_entries,
+            self.bp_scale,
+            self.branch_predictor,
+            self.prefetcher,
+            self.hierarchy.llc_size_per_core,
+            self.hierarchy.llc_policy,
+            self.hierarchy.mshr_entries,
+            self.stride_degree,
+            self.nextn_degree,
+            self.sms.region_bytes,
+            bf.brtc_entries,
+            bf.mht_entries,
+            bf.path_confidence_threshold,
+            bf.use_filter,
+            bf.loop_prefetch,
+            bf.pattern_prefetch,
+            bf.arf_mode,
+            bf.arf_delay,
+            bf.filter_threshold,
+            bf.instruction_prefetch,
+        )
+
+    def describe(self):
+        """Table II-style description rows."""
+        hier = self.hierarchy
+        return [
+            ("CPU", "%d-wide O3 processor, %d-entry ROB"
+             % (self.width, self.rob_entries)),
+            ("L1I & L1D cache", "%dKB %d-way, %d-cycle latency"
+             % (hier.l1d_size // 1024, hier.l1d_assoc, hier.l1_latency)),
+            ("L2 cache", "Unified %dKB %d-way, %d-cycle latency"
+             % (hier.l2_size // 1024, hier.l2_assoc, hier.l2_latency)),
+            ("Shared L3 cache", "%dMB/core %d-way, %d-cycle latency"
+             % (hier.llc_size_per_core // (1024 * 1024), hier.llc_assoc,
+                hier.llc_latency)),
+            ("Off-chip DRAM", "%d-cycle latency" % hier.dram_latency),
+            ("Branch predictor", "Tournament predictor (scale %.2fx)"
+             % self.bp_scale),
+            ("Branch path confidence threshold",
+             "%.2f" % self.bfetch.path_confidence_threshold),
+            ("Per-load filter threshold", str(self.bfetch.filter_threshold)),
+        ]
+
+
+def make_prefetcher(config):
+    """Instantiate the prefetcher selected by *config*."""
+    name = config.prefetcher
+    if name == "none":
+        return Prefetcher()
+    if name == "nextn":
+        return NextNPrefetcher(n=config.nextn_degree)
+    if name == "stride":
+        return StridePrefetcher(degree=config.stride_degree)
+    if name == "sms":
+        return SMSPrefetcher(config.sms)
+    if name == "perfect":
+        return PerfectPrefetcher()
+    if name == "tango":
+        return TangoPrefetcher()
+    if name == "bfetch":
+        return BFetchPrefetcher(config.bfetch)
+    if name == "isb":
+        return ISBPrefetcher()
+    if name == "stems":
+        return STeMSPrefetcher(config.sms)
+    raise ValueError("unknown prefetcher %r" % name)

@@ -1,0 +1,50 @@
+"""Evaluation metrics: geometric means and weighted speedups.
+
+The paper reports single-threaded results as ``IPC_pf / IPC_baseline``
+speedups (geometric mean across benchmarks) and multiprogrammed results
+as the *normalized weighted speedup*:
+``sum_i(IPC_multi,i / IPC_single,i)`` normalized to the no-prefetching
+CMP run (Section V-A).
+"""
+
+import math
+
+
+def geomean(values):
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def weighted_speedup(multi_ipcs, single_ipcs):
+    """Chandra-style weighted speedup: sum of per-app IPC ratios."""
+    if len(multi_ipcs) != len(single_ipcs):
+        raise ValueError("mismatched IPC vectors")
+    return sum(m / s for m, s in zip(multi_ipcs, single_ipcs))
+
+
+def normalize(value, baseline):
+    """Ratio with a guard against degenerate baselines."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return value / baseline
+
+
+def speedup_table(rows, columns):
+    """Format a text table: rows = [(label, {col: value})]."""
+    header = ["benchmark"] + list(columns)
+    widths = [max(len(header[0]), max(len(r[0]) for r in rows))]
+    widths += [max(len(c), 7) for c in columns]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for label, values in rows:
+        cells = [label.ljust(widths[0])]
+        for column, width in zip(columns, widths[1:]):
+            value = values.get(column)
+            cell = "%.3f" % value if value is not None else "-"
+            cells.append(cell.ljust(width))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

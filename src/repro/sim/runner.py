@@ -1,0 +1,145 @@
+"""Experiment runner with a JSON result cache.
+
+Every table/figure reproduction is a composition of three primitives:
+
+* :meth:`ExperimentRunner.run_single` -- one benchmark, one prefetcher;
+* :meth:`ExperimentRunner.run_mix` -- one multiprogrammed mix on the CMP;
+* :meth:`ExperimentRunner.foa_map` -- solo-run FOA values feeding the
+  Chandra mix selection.
+
+Results are memoised on disk keyed by (cache version, workload, budget,
+full config identity), so sweeps that share a baseline -- every figure
+shares the no-prefetch runs -- never recompute it.  Set the environment
+variable ``REPRO_SCALE`` to scale all instruction budgets (e.g. ``0.25``
+for quick smoke runs, ``4`` for higher-fidelity numbers).
+"""
+
+import hashlib
+import json
+import os
+
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import weighted_speedup
+from repro.sim.system import RunResult, System
+from repro.workloads.mixes import foa_from_result
+from repro.workloads.spec import build_workload
+
+CACHE_VERSION = 1
+
+# default per-run instruction budgets (pre-REPRO_SCALE)
+DEFAULT_SINGLE_BUDGET = 200_000
+DEFAULT_MIX_BUDGET = 60_000
+
+
+def scaled(budget):
+    """Apply the REPRO_SCALE environment knob to an instruction budget."""
+    scale = float(os.environ.get("REPRO_SCALE", "1"))
+    return max(1000, int(budget * scale))
+
+
+class ExperimentRunner:
+    """Runs simulations with on-disk memoisation.
+
+    :param cache_dir: directory for cached results; None disables caching.
+    """
+
+    def __init__(self, cache_dir=None):
+        self.cache_dir = cache_dir
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def _cache_path(self, kind, payload):
+        if not self.cache_dir:
+            return None
+        digest = hashlib.sha1(
+            json.dumps([CACHE_VERSION, kind, payload], sort_keys=True).encode()
+        ).hexdigest()
+        return os.path.join(self.cache_dir, "%s-%s.json" % (kind, digest[:16]))
+
+    def _cached(self, path):
+        if path and os.path.exists(path):
+            with open(path) as handle:
+                return json.load(handle)
+        return None
+
+    def _save(self, path, data):
+        if path:
+            with open(path, "w") as handle:
+                json.dump(data, handle)
+
+    # ------------------------------------------------------------------
+
+    def run_single(self, benchmark, prefetcher="none", instructions=None,
+                   config=None, variant=0):
+        """Run one benchmark solo; returns a :class:`~repro.sim.RunResult`.
+
+        *variant* selects a re-seeded instance of the workload (see
+        :func:`~repro.workloads.build_workload`).
+        """
+        if instructions is None:
+            instructions = scaled(DEFAULT_SINGLE_BUDGET)
+        config = config or SystemConfig(prefetcher=prefetcher)
+        if config.prefetcher != prefetcher:
+            raise ValueError("config.prefetcher disagrees with prefetcher arg")
+        payload = [benchmark, instructions, list(config.key())]
+        if variant:
+            payload.append(variant)
+        path = self._cache_path("single", payload)
+        cached = self._cached(path)
+        if cached is not None:
+            return RunResult(cached)
+        system = System(build_workload(benchmark, variant), config)
+        result = system.run(instructions)
+        self._save(path, result.as_dict())
+        return result
+
+    def run_mix(self, mix, prefetcher="none", instructions=None, config=None):
+        """Run a multiprogrammed mix; returns per-core RunResults."""
+        if instructions is None:
+            instructions = scaled(DEFAULT_MIX_BUDGET)
+        config = config or SystemConfig(prefetcher=prefetcher)
+        payload = [list(mix), instructions, list(config.key())]
+        path = self._cache_path("mix", payload)
+        cached = self._cached(path)
+        if cached is not None:
+            return [RunResult(entry) for entry in cached]
+        cmp_system = CMPSystem([build_workload(name) for name in mix], config)
+        results = cmp_system.run(instructions)
+        self._save(path, [result.as_dict() for result in results])
+        return results
+
+    # ------------------------------------------------------------------
+    # derived metrics
+
+    def speedup(self, benchmark, prefetcher, instructions=None, config=None,
+                base_config=None):
+        """IPC ratio of *prefetcher* over the no-prefetch baseline."""
+        base = self.run_single(benchmark, "none", instructions, base_config)
+        run = self.run_single(benchmark, prefetcher, instructions, config)
+        return run.ipc / base.ipc
+
+    def weighted_speedup_normalized(self, mix, prefetcher,
+                                    instructions=None,
+                                    single_instructions=None,
+                                    config=None, base_config=None):
+        """Paper Figs. 9/10 metric: weighted speedup of the mix under
+        *prefetcher*, normalised to the same mix without prefetching."""
+        singles = [
+            self.run_single(name, "none", single_instructions).ipc
+            for name in mix
+        ]
+        base = self.run_mix(mix, "none", instructions, base_config)
+        run = self.run_mix(mix, prefetcher, instructions, config)
+        ws_base = weighted_speedup([r.ipc for r in base], singles)
+        ws_run = weighted_speedup([r.ipc for r in run], singles)
+        return ws_run / ws_base
+
+    def foa_map(self, benchmarks, instructions=None):
+        """Solo-run FOA (LLC accesses / cycle) for mix selection."""
+        return {
+            name: foa_from_result(self.run_single(name, "none", instructions))
+            for name in benchmarks
+        }

@@ -1,0 +1,109 @@
+"""Single-core system assembly and run-result records."""
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.confidence import CompositeConfidenceEstimator
+from repro.cpu.functional import Machine
+from repro.cpu.ooo import OutOfOrderCore
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.config import SystemConfig, make_prefetcher
+
+
+class RunResult:
+    """Everything a run produced, JSON-serialisable for the result cache."""
+
+    def __init__(self, data):
+        self.data = data
+
+    def __getattr__(self, name):
+        try:
+            return self.data[name]
+        except KeyError:
+            raise AttributeError(name)
+
+    def as_dict(self):
+        return dict(self.data)
+
+    @classmethod
+    def from_core(cls, core, workload_name, prefetcher_name):
+        hierarchy = core.hierarchy
+        prefetcher = core.prefetcher
+        data = {
+            "workload": workload_name,
+            "prefetcher": prefetcher_name,
+            "instructions": core.retired,
+            "cycles": core.cycle,
+            "ipc": core.ipc,
+            "cond_branches": core.cond_branches,
+            "branches": core.branches,
+            "mispredicts": core.mispredicts,
+            "mispredict_rate": core.mispredict_rate,
+            "fetch_branch_hist": list(core.fetch_branch_hist),
+            "fetch_cycles": core.fetch_cycles,
+            "l1d": hierarchy.l1d.stats.as_dict(),
+            "l2": hierarchy.l2.stats.as_dict(),
+            "llc": hierarchy.llc.stats.as_dict(),
+            "dram_accesses": hierarchy.dram.accesses,
+            "prefetch": prefetcher.stats.as_dict(),
+        }
+        if hasattr(prefetcher, "mean_lookahead_depth"):
+            data["mean_lookahead_depth"] = prefetcher.mean_lookahead_depth
+            data["brtc_hit_rate"] = prefetcher.brtc.hit_rate
+            data["mht_hit_rate"] = prefetcher.mht.hit_rate
+            data["filter_blocked"] = prefetcher.filter.blocked
+        return cls(data)
+
+    def __repr__(self):
+        return "RunResult(%s/%s: ipc=%.3f)" % (
+            self.data.get("workload"),
+            self.data.get("prefetcher"),
+            self.data.get("ipc", 0.0),
+        )
+
+
+class System:
+    """A single simulated core with its private L2 and (by default)
+    private LLC slice, built from a :class:`~repro.sim.SystemConfig`.
+
+    :param workload: a :class:`~repro.workloads.Workload` (program +
+        initial memory image + name).
+    :param config: system configuration; Table II defaults when None.
+    :param llc: optional shared LLC (CMP mode).
+    :param dram: optional shared DRAM (CMP mode).
+    """
+
+    def __init__(self, workload, config=None, llc=None, dram=None):
+        self.config = config or SystemConfig()
+        self.workload = workload
+        self.machine = Machine(workload.program, dict(workload.memory))
+        self.predictor = self.config.make_predictor()
+        self.confidence = CompositeConfidenceEstimator()
+        self.btb = BranchTargetBuffer()
+        self.prefetcher = make_prefetcher(self.config)
+        self.hierarchy = MemoryHierarchy(
+            self.config.hierarchy,
+            llc=llc,
+            dram=dram,
+            pf_feedback=self.prefetcher.feedback,
+        )
+        self.hierarchy.l1d.eviction_listeners.append(
+            self.prefetcher.on_l1d_eviction
+        )
+        if hasattr(self.prefetcher, "attach"):
+            self.prefetcher.attach(self.predictor, self.confidence)
+        self.core = OutOfOrderCore(
+            self.machine,
+            self.hierarchy,
+            self.predictor,
+            self.confidence,
+            self.btb,
+            self.prefetcher,
+            self.config.core,
+        )
+
+    def run(self, instructions):
+        """Run to completion of *instructions* and return a
+        :class:`RunResult`."""
+        self.core.run(instructions)
+        return RunResult.from_core(
+            self.core, self.workload.name, self.config.prefetcher
+        )

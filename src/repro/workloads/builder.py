@@ -1,0 +1,160 @@
+"""Programmatic assembly of ISA programs.
+
+:class:`ProgramBuilder` offers one emit method per opcode plus label
+management, so kernel generators read like the assembly they produce.
+"""
+
+from repro.isa.instructions import Instr
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+
+
+class ProgramBuilder:
+    """Accumulates instructions and labels, then builds a Program."""
+
+    def __init__(self, name="generated"):
+        self.name = name
+        self.instrs = []
+        self.labels = {}
+        self._uid = 0
+
+    # ------------------------------------------------------------------
+
+    def unique(self, stem):
+        """Return a label name guaranteed unique within this builder."""
+        self._uid += 1
+        return "%s_%d" % (stem, self._uid)
+
+    def label(self, name):
+        """Bind *name* to the next emitted instruction."""
+        if name in self.labels:
+            raise ValueError("duplicate label %r" % name)
+        self.labels[name] = len(self.instrs)
+        return name
+
+    def here(self):
+        """Current instruction index."""
+        return len(self.instrs)
+
+    # ------------------------------------------------------------------
+    # ALU
+
+    def _emit(self, instr):
+        self.instrs.append(instr)
+        return instr
+
+    def li(self, rd, imm):
+        return self._emit(Instr(Op.LI, rd=rd, imm=imm))
+
+    def mov(self, rd, ra):
+        return self._emit(Instr(Op.MOV, rd=rd, ra=ra))
+
+    def add(self, rd, ra, rb):
+        return self._emit(Instr(Op.ADD, rd=rd, ra=ra, rb=rb))
+
+    def sub(self, rd, ra, rb):
+        return self._emit(Instr(Op.SUB, rd=rd, ra=ra, rb=rb))
+
+    def mul(self, rd, ra, rb):
+        return self._emit(Instr(Op.MUL, rd=rd, ra=ra, rb=rb))
+
+    def xor(self, rd, ra, rb):
+        return self._emit(Instr(Op.XOR, rd=rd, ra=ra, rb=rb))
+
+    def and_(self, rd, ra, rb):
+        return self._emit(Instr(Op.AND, rd=rd, ra=ra, rb=rb))
+
+    def or_(self, rd, ra, rb):
+        return self._emit(Instr(Op.OR, rd=rd, ra=ra, rb=rb))
+
+    def sll(self, rd, ra, rb):
+        return self._emit(Instr(Op.SLL, rd=rd, ra=ra, rb=rb))
+
+    def srl(self, rd, ra, rb):
+        return self._emit(Instr(Op.SRL, rd=rd, ra=ra, rb=rb))
+
+    def cmpeq(self, rd, ra, rb):
+        return self._emit(Instr(Op.CMPEQ, rd=rd, ra=ra, rb=rb))
+
+    def cmplt(self, rd, ra, rb):
+        return self._emit(Instr(Op.CMPLT, rd=rd, ra=ra, rb=rb))
+
+    def addi(self, rd, ra, imm):
+        return self._emit(Instr(Op.ADDI, rd=rd, ra=ra, imm=imm))
+
+    def subi(self, rd, ra, imm):
+        return self._emit(Instr(Op.SUBI, rd=rd, ra=ra, imm=imm))
+
+    def andi(self, rd, ra, imm):
+        return self._emit(Instr(Op.ANDI, rd=rd, ra=ra, imm=imm))
+
+    def slli(self, rd, ra, imm):
+        return self._emit(Instr(Op.SLLI, rd=rd, ra=ra, imm=imm))
+
+    def srli(self, rd, ra, imm):
+        return self._emit(Instr(Op.SRLI, rd=rd, ra=ra, imm=imm))
+
+    # ------------------------------------------------------------------
+    # memory
+
+    def load(self, rd, imm, ra):
+        return self._emit(Instr(Op.LOAD, rd=rd, ra=ra, imm=imm))
+
+    def store(self, rb, imm, ra):
+        return self._emit(Instr(Op.STORE, rb=rb, ra=ra, imm=imm))
+
+    # ------------------------------------------------------------------
+    # control flow (targets are label strings resolved at build())
+
+    def beqz(self, ra, target):
+        return self._emit(Instr(Op.BEQZ, ra=ra, target=target))
+
+    def bnez(self, ra, target):
+        return self._emit(Instr(Op.BNEZ, ra=ra, target=target))
+
+    def bltz(self, ra, target):
+        return self._emit(Instr(Op.BLTZ, ra=ra, target=target))
+
+    def bgez(self, ra, target):
+        return self._emit(Instr(Op.BGEZ, ra=ra, target=target))
+
+    def br(self, target):
+        return self._emit(Instr(Op.BR, target=target))
+
+    def jr(self, ra):
+        return self._emit(Instr(Op.JR, ra=ra))
+
+    def nop(self):
+        return self._emit(Instr(Op.NOP))
+
+    def halt(self):
+        return self._emit(Instr(Op.HALT))
+
+    # ------------------------------------------------------------------
+
+    def append_builder(self, other):
+        """Append another builder's instructions, shifting its labels.
+
+        Branch targets are stored as label names until :meth:`build`, so
+        concatenation only needs the label table merged with an offset.
+        """
+        offset = len(self.instrs)
+        for name, index in other.labels.items():
+            if name in self.labels:
+                raise ValueError("label %r defined in both builders" % name)
+            self.labels[name] = index + offset
+        for instr in other.instrs:
+            if instr.target is not None and not isinstance(instr.target, str):
+                raise ValueError(
+                    "append_builder requires label-name targets, got %r"
+                    % (instr.target,)
+                )
+        self.instrs.extend(other.instrs)
+        return self
+
+    def build(self, base_pc=0x1000):
+        """Resolve labels and return the finished Program."""
+        program = Program(self.instrs, labels=self.labels,
+                          base_pc=base_pc, name=self.name)
+        program.validate()
+        return program

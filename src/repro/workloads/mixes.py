@@ -1,0 +1,64 @@
+"""Multiprogrammed mix selection via the FOA contention model.
+
+The paper selects its 29 2-app and 4-app mixes using the frequency-of-
+access (FOA) inter-thread contention model of Chandra et al. (HPCA 2005):
+threads that access the shared cache most often are predicted to contend
+most, so mixes are ranked by their combined shared-cache access
+frequency and the highest-contention ones are kept.
+
+``select_mixes`` is deterministic; a per-benchmark appearance cap keeps
+the mix set diverse instead of 29 copies of the two hungriest apps.
+"""
+
+from itertools import combinations
+
+
+def foa_from_result(result):
+    """FOA of one solo run: shared-cache (LLC) accesses per cycle."""
+    cycles = result.data["cycles"]
+    return result.data["llc"]["accesses"] / cycles if cycles else 0.0
+
+
+def select_mixes(foa, size, count=29, max_appearances=None):
+    """Pick *count* mixes of *size* benchmarks with the highest combined FOA.
+
+    :param foa: mapping benchmark name -> FOA value.
+    :param size: apps per mix (2 or 4 in the paper).
+    :param count: number of mixes (29 in the paper).
+    :param max_appearances: cap on how often one benchmark may appear;
+        defaults to a cap that keeps the set diverse.
+    :returns: list of tuples of benchmark names, ordered by descending
+        combined FOA.
+    """
+    names = sorted(foa)
+    if size < 1 or size > len(names):
+        raise ValueError("mix size %d out of range" % size)
+    if max_appearances is None:
+        max_appearances = max(2, (count * size * 2) // (3 * len(names)) + 2)
+    candidates = sorted(
+        combinations(names, size),
+        key=lambda mix: (-sum(foa[n] for n in mix), mix),
+    )
+    chosen = []
+    uses = dict.fromkeys(names, 0)
+    for mix in candidates:
+        if len(chosen) >= count:
+            break
+        if any(uses[n] >= max_appearances for n in mix):
+            continue
+        chosen.append(mix)
+        for n in mix:
+            uses[n] += 1
+    # if the cap was too tight to reach `count`, relax it pass by pass
+    while len(chosen) < count:
+        progressed = False
+        for mix in candidates:
+            if len(chosen) >= count:
+                break
+            if mix in chosen:
+                continue
+            chosen.append(mix)
+            progressed = True
+        if not progressed:
+            break
+    return chosen[:count]

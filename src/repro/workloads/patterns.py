@@ -1,0 +1,430 @@
+"""Memory-access kernel generators.
+
+Each ``emit_*`` function appends one phase of code to a
+:class:`~repro.workloads.builder.ProgramBuilder` and (where needed)
+initialises the memory image.  Kernels are written the way the paper's
+motivating examples are: real base registers advanced by real arithmetic,
+with loads addressed off those registers -- so the B-Fetch tables see the
+same structure gem5 would extract from compiled SPEC code.
+
+Two cross-cutting knobs shape memory intensity:
+
+* ``work`` -- extra ALU operations per loop iteration (compute ballast,
+  so memory-bound kernels are not *degenerately* memory-bound);
+* ``pos_reg``/``size`` -- a *persistent* position register: the walk
+  continues across outer-loop laps through a region of ``size`` bytes
+  (with a cheap once-per-phase wrap check) instead of rescanning the same
+  footprint, which is what keeps large-working-set benchmarks
+  DRAM-bound for the whole run.
+
+Persistent registers must come from :data:`PERSISTENT_REGS` and be
+registered by the caller via the *prologue* list (``(reg, value)`` pairs
+the workload builder initialises before the outer loop).
+
+Register convention (kernels re-initialise what they use, so phases can
+share registers):
+
+======  =========================================
+r1-6    temporaries / accumulators
+r7,14,15 compute-ballast registers
+r8-13   base and pointer registers
+r16-18  loop counters
+r20     persistent LCG state
+r21-26  persistent walk positions
+======  =========================================
+"""
+
+R_T0, R_T1, R_T2, R_ACC, R_V, R_T3 = 1, 2, 3, 4, 5, 6
+R_W0, R_W1, R_W2 = 7, 14, 15
+R_B0, R_B1, R_B2, R_B3, R_P, R_Q = 8, 9, 10, 11, 12, 13
+R_C0, R_C1, R_C2 = 16, 17, 18
+R_SEED = 20
+PERSISTENT_REGS = (21, 22, 23, 24, 25, 26)
+
+WORD = 8
+
+
+def _ballast(b, work):
+    """Emit *work* filler ALU instructions (a short dependence braid)."""
+    for index in range(work):
+        if index % 2:
+            b.xor(R_W1, R_W1, R_W0)
+        else:
+            b.add(R_W0, R_W0, R_W2)
+
+
+def _wrap_check(b, pos_reg, base, size):
+    """Once-per-phase bound check resetting a persistent walk pointer."""
+    skip = b.unique("wrap")
+    b.li(R_T3, base + size)
+    b.cmplt(R_T2, pos_reg, R_T3)
+    b.bnez(R_T2, skip)
+    b.li(pos_reg, base)
+    b.label(skip)
+
+
+def _walk_reg(b, base, pos_reg, size, prologue):
+    """Resolve the base register for a (possibly persistent) walk."""
+    if pos_reg is None:
+        b.li(R_B0, base)
+        return R_B0
+    if pos_reg not in PERSISTENT_REGS:
+        raise ValueError("pos_reg must come from PERSISTENT_REGS")
+    if size is None or prologue is None:
+        raise ValueError("persistent walks need size= and prologue=")
+    prologue.append((pos_reg, base))
+    _wrap_check(b, pos_reg, base, size)
+    return pos_reg
+
+
+def emit_stream(b, base, elems, stride=WORD, work=0, store_every=0,
+                pos_reg=None, size=None, prologue=None):
+    """Sequential/strided streaming read loop (libquantum/lbm style).
+
+    Loads ``elems`` words spaced *stride* bytes, accumulating into a
+    register; optionally stores the running sum back every
+    ``store_every`` elements.  With *pos_reg* the stream continues across
+    laps through ``size`` bytes.
+    """
+    reg = _walk_reg(b, base, pos_reg, size, prologue)
+    loop = b.unique("stream")
+    b.li(R_C0, elems)
+    b.label(loop)
+    b.load(R_T0, 0, reg)
+    b.add(R_ACC, R_ACC, R_T0)
+    if store_every:
+        b.store(R_ACC, WORD * store_every, reg)
+    _ballast(b, work)
+    b.addi(reg, reg, stride)
+    b.subi(R_C0, R_C0, 1)
+    b.bnez(R_C0, loop)
+
+
+def emit_multistream(b, streams, elems, work=0, prologue=None):
+    """Several concurrent streams in one loop (bwaves/leslie3d style).
+
+    :param streams: list of ``(base, stride)`` or
+        ``(base, stride, pos_reg, size)`` tuples (max 4).
+    """
+    if not 1 <= len(streams) <= 4:
+        raise ValueError("1..4 streams supported")
+    scratch = (R_B0, R_B1, R_B2, R_B3)
+    regs = []
+    strides = []
+    for position, stream in enumerate(streams):
+        if len(stream) == 2:
+            base, stride = stream
+            reg = scratch[position]
+            b.li(reg, base)
+        else:
+            base, stride, pos_reg, size = stream
+            reg = _walk_reg(b, base, pos_reg, size, prologue)
+        regs.append(reg)
+        strides.append(stride)
+    loop = b.unique("mstream")
+    b.li(R_C0, elems)
+    b.label(loop)
+    for reg, stride in zip(regs, strides):
+        b.load(R_T0, 0, reg)
+        b.add(R_ACC, R_ACC, R_T0)
+        b.addi(reg, reg, stride)
+    _ballast(b, work)
+    b.subi(R_C0, R_C0, 1)
+    b.bnez(R_C0, loop)
+
+
+def emit_region(b, base, region_bytes, offsets, regions, work=0,
+                pos_reg=None, size=None, prologue=None):
+    """Struct/record walk (cactusADM/milc/zeusmp style).
+
+    Visits *regions* consecutive records of *region_bytes*, loading the
+    fixed *offsets* within each -- the spatial-pattern shape SMS was built
+    for.  All loads use the same base register, exercising B-Fetch's
+    pos/negPatt block vectors (which only reach +-5 blocks; offsets wider
+    than 320B are where SMS's 2KB regions win, per the paper's milc
+    discussion).
+    """
+    reg = _walk_reg(b, base, pos_reg, size, prologue)
+    loop = b.unique("region")
+    b.li(R_C0, regions)
+    b.label(loop)
+    for offset in offsets:
+        b.load(R_T0, offset, reg)
+        b.add(R_ACC, R_ACC, R_T0)
+    _ballast(b, work)
+    b.addi(reg, reg, region_bytes)
+    b.subi(R_C0, R_C0, 1)
+    b.bnez(R_C0, loop)
+
+
+def init_pointer_chain(mem, rng, base, nodes, node_bytes=64, spread=1):
+    """Build a cyclic randomly-ordered linked list in *mem*.
+
+    Node i sits at ``base + i*node_bytes*spread``; traversal order is a
+    random permutation; word 0 is the next pointer, word 8 a payload.
+    ``spread > 1`` leaves gaps between node slots, so the pool has the
+    low spatial density of real allocator-placed nodes (a dense pool
+    would hand region-based prefetchers the whole chain for free).
+    Returns the address of the first node in traversal order.
+    """
+    order = list(range(nodes))
+    rng.shuffle(order)
+    step = node_bytes * spread
+    for position, node in enumerate(order):
+        addr = base + node * step
+        succ = order[(position + 1) % nodes]
+        mem[addr] = base + succ * step
+        mem[addr + WORD] = rng.randrange(1 << 16)
+    return base + order[0] * step
+
+
+def emit_pointer_chase(b, head, hops, payload=True, work=0):
+    """Linked-list traversal (mcf/astar style): serially dependent loads
+    no light-weight prefetcher can cover."""
+    loop = b.unique("chase")
+    b.li(R_P, head)
+    b.li(R_C0, hops)
+    b.label(loop)
+    if payload:
+        b.load(R_T0, WORD, R_P)
+        b.add(R_ACC, R_ACC, R_T0)
+    b.load(R_P, 0, R_P)
+    _ballast(b, work)
+    b.subi(R_C0, R_C0, 1)
+    b.bnez(R_C0, loop)
+
+
+def init_index_array(mem, rng, idx_base, elems, data_words):
+    """Random gather indices in ``[0, data_words)``."""
+    for i in range(elems):
+        mem[idx_base + i * WORD] = rng.randrange(data_words)
+
+
+def emit_gather(b, idx_base, data_base, elems, work=0):
+    """Indexed gather (soplex/sphinx sparse style): a prefetchable index
+    stream driving data accesses whose bases are computed in-block."""
+    loop = b.unique("gather")
+    b.li(R_B0, idx_base)
+    b.li(R_B1, data_base)
+    b.li(R_C0, elems)
+    b.label(loop)
+    b.load(R_T0, 0, R_B0)      # index (sequential, prefetchable)
+    b.slli(R_T0, R_T0, 3)
+    b.add(R_P, R_B1, R_T0)
+    b.load(R_T1, 0, R_P)       # gathered data (irregular)
+    b.add(R_ACC, R_ACC, R_T1)
+    _ballast(b, work)
+    b.addi(R_B0, R_B0, WORD)
+    b.subi(R_C0, R_C0, 1)
+    b.bnez(R_C0, loop)
+
+
+def init_predicates(mem, rng, base, elems, bias):
+    """0/1 predicate array: 1 with probability *bias* (biased random)."""
+    for i in range(elems):
+        mem[base + i * WORD] = 1 if rng.random() < bias else 0
+
+
+def emit_branchy(b, pred_base, elems, walk_base, step_taken, step_not,
+                 work=0, pos_reg=None, size=None, prologue=None):
+    """Control-flow-dependent strides -- the paper's Fig. 2 structure.
+
+    A data-dependent branch chooses how far the walk pointer advances
+    before a shared load reads through it.  The load's address stream is
+    irregular to a per-PC stride table and sparse to SMS, but each
+    (branch, direction) pair gives B-Fetch's MHT a *stable* offset from
+    the register value at the branch.
+    """
+    if pos_reg is not None:
+        walk = _walk_reg(b, walk_base, pos_reg, size, prologue)
+    else:
+        walk = R_P
+        b.li(walk, walk_base)
+    loop = b.unique("branchy")
+    taken = b.unique("branchy_t")
+    join = b.unique("branchy_j")
+    b.li(R_B0, pred_base)
+    b.li(R_C0, elems)
+    b.label(loop)
+    b.load(R_V, 0, R_B0)
+    b.bnez(R_V, taken)
+    b.addi(walk, walk, step_not)
+    b.br(join)
+    b.label(taken)
+    b.addi(walk, walk, step_taken)
+    b.label(join)
+    b.load(R_T0, 0, walk)
+    b.add(R_ACC, R_ACC, R_T0)
+    _ballast(b, work)
+    b.addi(R_B0, R_B0, WORD)
+    b.subi(R_C0, R_C0, 1)
+    b.bnez(R_C0, loop)
+
+
+def emit_switch(b, case_table, case_count, cases=4, iters=256, work=0,
+                case_body=None):
+    """Jump-table dispatch (switch statement / interpreter style).
+
+    Reads a case index from memory, looks up a jump-table of code
+    addresses and dispatches through ``JR`` -- the indirect-branch path
+    that motivates including the *target address* in the BrTC/MHT hash
+    (Section IV-B1).  ``case_body(builder, case_index)`` may emit custom
+    per-case code; the default gives each case a distinct strided load.
+
+    Memory layout expected (see :func:`init_switch_tables`): an index
+    array at ``case_table`` holding values in ``[0, cases)``; the jump
+    table itself is patched in at build time by the caller via the
+    returned fix-up list, since case addresses are only known after the
+    program is assembled.
+
+    Returns a list of ``(table_slot_addr, case_label)`` fix-ups: after
+    ``builder.build()``, write ``program.pc_of(labels[case_label])`` into
+    each slot of the memory image.
+    """
+    dispatch = b.unique("switch")
+    done = b.unique("switch_done")
+    case_labels = [b.unique("case%d" % i) for i in range(cases)]
+    table_base = case_table + 0x10000  # jump table lives past the indices
+    b.li(R_B0, case_table)
+    b.li(R_B1, table_base)
+    b.li(R_C0, iters)
+    b.label(dispatch)
+    b.load(R_T0, 0, R_B0)          # case index
+    b.slli(R_T0, R_T0, 3)
+    b.add(R_P, R_B1, R_T0)
+    b.load(R_T1, 0, R_P)           # code address from the jump table
+    b.jr(R_T1)
+    for case_index, label in enumerate(case_labels):
+        b.label(label)
+        if case_body is not None:
+            case_body(b, case_index)
+        else:
+            reg = (R_B2, R_B3, R_Q, R_T3)[case_index % 4]
+            b.load(R_T2, case_index * 8, R_B1)
+            b.add(R_ACC, R_ACC, R_T2)
+        b.br(done)
+    b.label(done)
+    _ballast(b, work)
+    b.addi(R_B0, R_B0, WORD)
+    b.subi(R_C0, R_C0, 1)
+    b.bnez(R_C0, dispatch)
+    return [(table_base + i * WORD, label)
+            for i, label in enumerate(case_labels)]
+
+
+def init_switch_tables(mem, rng, case_table, iters, cases):
+    """Random case indices for :func:`emit_switch`."""
+    for i in range(iters):
+        mem[case_table + i * WORD] = rng.randrange(cases)
+
+
+def patch_switch_fixups(mem, program, fixups):
+    """Resolve jump-table fix-ups once the program PCs are known."""
+    for slot_addr, label in fixups:
+        mem[slot_addr] = program.pc_of(program.labels[label])
+
+
+def emit_bigcode(b, iters, blocks=256, body_instrs=80):
+    """Instruction-footprint-heavy phase (B-Fetch-I's target).
+
+    Emits *blocks* large straight-line code blocks executed in sequence
+    each lap, separated by never-taken conditional branches (``bnez r31``
+    reads the zero register), so the control flow is perfectly
+    predictable while the code footprint --
+    ``blocks * (body_instrs + 1) * 4`` bytes -- can be sized beyond the
+    64KB L1I to create instruction-cache pressure.  Every block also
+    performs one load off ``R_B1``.
+    """
+    loop = b.unique("bigcode")
+    landing = b.unique("bigcode_x")
+    b.li(R_C0, iters)
+    b.label(loop)
+    for block_index in range(blocks):
+        b.li(R_T0, block_index + 1)
+        for position in range(body_instrs - 4):
+            if position % 3 == 0:
+                b.add(R_T0, R_T0, R_W2)
+            elif position % 3 == 1:
+                b.xor(R_T1, R_T1, R_T0)
+            else:
+                b.srli(R_T1, R_T1, 1)
+        b.load(R_T2, block_index * 8, R_B1)
+        b.add(R_ACC, R_ACC, R_T2)
+        # never-taken block separator: a predictable BB boundary
+        b.bnez(31, landing)
+    b.label(landing)
+    b.subi(R_C0, R_C0, 1)
+    b.bnez(R_C0, loop)
+
+
+def emit_compute(b, iters, chain=6):
+    """ALU-dominated loop with a private stack slot (gamess/calculix
+    style): effectively L1-resident, the paper's no-gain class."""
+    loop = b.unique("compute")
+    b.li(R_B0, 0x100)          # tiny stack-like scratch region
+    b.li(R_C0, iters)
+    b.li(R_T0, 3)
+    b.li(R_T1, 5)
+    b.label(loop)
+    for _ in range(chain):
+        b.add(R_T0, R_T0, R_T1)
+        b.xor(R_T1, R_T1, R_T0)
+        b.srli(R_T1, R_T1, 1)
+    b.mul(R_T2, R_T0, R_T1)
+    b.store(R_T2, 0, R_B0)
+    b.load(R_T3, 0, R_B0)
+    b.add(R_ACC, R_ACC, R_T3)
+    b.subi(R_C0, R_C0, 1)
+    b.bnez(R_C0, loop)
+
+
+def emit_matrix(b, base, rows, cols, elem_bytes=WORD, row_pad=0, work=0):
+    """Nested row/column walk (h264ref/hmmer inner loops).
+
+    The inner-loop back-branch revisits the same basic block, exercising
+    B-Fetch's runtime loop detection (LoopCnt x LoopDelta prefetching).
+    """
+    outer = b.unique("mat_o")
+    inner = b.unique("mat_i")
+    row_stride = cols * elem_bytes + row_pad
+    b.li(R_B0, base)
+    b.li(R_C1, rows)
+    b.label(outer)
+    b.mov(R_P, R_B0)
+    b.li(R_C0, cols)
+    b.label(inner)
+    b.load(R_T0, 0, R_P)
+    b.add(R_ACC, R_ACC, R_T0)
+    _ballast(b, work)
+    b.addi(R_P, R_P, elem_bytes)
+    b.subi(R_C0, R_C0, 1)
+    b.bnez(R_C0, inner)
+    b.addi(R_B0, R_B0, row_stride)
+    b.subi(R_C1, R_C1, 1)
+    b.bnez(R_C1, outer)
+
+
+def emit_hot(b, base, size_bytes, iters, work=0):
+    """LCG-scrambled accesses inside a small resident region (sjeng
+    hash-table style): L1/L2-resident, unpredictable addresses."""
+    if size_bytes & (size_bytes - 1):
+        raise ValueError("size must be a power of two")
+    loop = b.unique("hot")
+    b.li(R_B0, base)
+    b.li(R_C0, iters)
+    b.label(loop)
+    # LCG step: seed = seed * 1103515245 + 12345
+    b.li(R_T1, 1103515245)
+    b.mul(R_SEED, R_SEED, R_T1)
+    b.addi(R_SEED, R_SEED, 12345)
+    b.srli(R_T0, R_SEED, 8)
+    # size is a power of two, so (size - 8) is simultaneously the range
+    # mask and the 8-byte alignment mask
+    b.andi(R_T0, R_T0, size_bytes - WORD)
+    b.add(R_P, R_B0, R_T0)
+    b.load(R_T2, 0, R_P)
+    b.add(R_ACC, R_ACC, R_T2)
+    b.store(R_ACC, 0, R_P)
+    _ballast(b, work)
+    b.subi(R_C0, R_C0, 1)
+    b.bnez(R_C0, loop)

@@ -1,0 +1,167 @@
+"""User-defined synthetic workloads.
+
+The 18 shipped profiles are calibrated stand-ins for SPEC; this module
+lets downstream users compose the same kernel generators into *their
+own* benchmarks from a declarative spec — e.g. to model a proprietary
+workload's mix of streaming, record and pointer behaviour, or to build
+adversarial inputs for a new prefetcher.
+
+Example::
+
+    from repro.workloads.synth import synthesize
+
+    workload = synthesize(
+        "mydb",
+        phases=[
+            {"kernel": "stream", "elems": 2000, "stride": 64, "work": 8,
+             "footprint_mb": 4},
+            {"kernel": "pointer_chase", "nodes": 4096, "hops": 800,
+             "spread": 8},
+            {"kernel": "branchy", "elems": 1000, "bias": 0.9,
+             "step_taken": 256, "step_not": 64, "footprint_mb": 2},
+            {"kernel": "compute", "iters": 500},
+        ],
+        seed=7,
+    )
+
+The result is a normal :class:`~repro.workloads.Workload`, runnable
+through :class:`~repro.sim.System` or the CMP driver.
+"""
+
+import random
+
+from repro.workloads import patterns as pat
+from repro.workloads.builder import ProgramBuilder
+from repro.workloads.workload import Workload
+
+_MB = 1024 * 1024
+_REGION = 16 * _MB
+
+KERNELS = ("stream", "multistream", "region", "pointer_chase", "gather",
+           "branchy", "compute", "matrix", "hot", "bigcode")
+
+
+class _Allocator:
+    """Hands out data-region base addresses and persistent registers."""
+
+    def __init__(self):
+        self._region = 0
+        self._persistent = list(pat.PERSISTENT_REGS)
+
+    def base(self):
+        self._region += 1
+        return _REGION * self._region + (self._region - 1) * 8256
+
+    def persistent_reg(self):
+        if not self._persistent:
+            raise ValueError(
+                "too many persistent-walk phases (max %d)"
+                % len(pat.PERSISTENT_REGS)
+            )
+        return self._persistent.pop(0)
+
+
+def _emit_phase(builder, memory, rng, alloc, prologue, spec):
+    kernel = spec.get("kernel")
+    if kernel not in KERNELS:
+        raise ValueError(
+            "unknown kernel %r (choose from %s)" % (kernel, ", ".join(KERNELS))
+        )
+    work = spec.get("work", 0)
+    if kernel == "stream":
+        footprint = int(spec.get("footprint_mb", 0) * _MB)
+        base = alloc.base()
+        kwargs = {}
+        if footprint:
+            kwargs = dict(pos_reg=alloc.persistent_reg(), size=footprint,
+                          prologue=prologue)
+        pat.emit_stream(builder, base, spec.get("elems", 1000),
+                        spec.get("stride", 8), work=work, **kwargs)
+    elif kernel == "multistream":
+        streams = []
+        for stride in spec.get("strides", (64, 64)):
+            footprint = int(spec.get("footprint_mb", 4) * _MB)
+            streams.append((alloc.base(), stride, alloc.persistent_reg(),
+                            footprint))
+        pat.emit_multistream(builder, streams, spec.get("elems", 1000),
+                             work=work, prologue=prologue)
+    elif kernel == "region":
+        footprint = int(spec.get("footprint_mb", 4) * _MB)
+        pat.emit_region(builder, alloc.base(),
+                        spec.get("region_bytes", 1024),
+                        spec.get("offsets", [0, 128, 256]),
+                        spec.get("regions", 800), work=work,
+                        pos_reg=alloc.persistent_reg(), size=footprint,
+                        prologue=prologue)
+    elif kernel == "pointer_chase":
+        head = pat.init_pointer_chain(
+            memory, rng, alloc.base(), spec.get("nodes", 4096),
+            spread=spec.get("spread", 8),
+        )
+        pat.emit_pointer_chase(builder, head, spec.get("hops", 1000),
+                               work=work)
+    elif kernel == "gather":
+        idx_base = alloc.base()
+        data_base = alloc.base()
+        elems = spec.get("elems", 1000)
+        pat.init_index_array(memory, rng, idx_base, elems,
+                             spec.get("data_words", 128 * 1024))
+        pat.emit_gather(builder, idx_base, data_base, elems, work=work)
+    elif kernel == "branchy":
+        pred_base = alloc.base()
+        elems = spec.get("elems", 1000)
+        pat.init_predicates(memory, rng, pred_base, elems,
+                            spec.get("bias", 0.9))
+        footprint = int(spec.get("footprint_mb", 4) * _MB)
+        pat.emit_branchy(builder, pred_base, elems, alloc.base(),
+                         spec.get("step_taken", 256),
+                         spec.get("step_not", 64), work=work,
+                         pos_reg=alloc.persistent_reg(), size=footprint,
+                         prologue=prologue)
+    elif kernel == "compute":
+        pat.emit_compute(builder, spec.get("iters", 500),
+                         spec.get("chain", 6))
+    elif kernel == "matrix":
+        pat.emit_matrix(builder, alloc.base(), spec.get("rows", 24),
+                        spec.get("cols", 48),
+                        row_pad=spec.get("row_pad", 0), work=work)
+    elif kernel == "hot":
+        pat.emit_hot(builder, alloc.base(), spec.get("size_bytes", 32768),
+                     spec.get("iters", 500), work=work)
+    elif kernel == "bigcode":
+        pat.emit_bigcode(builder, spec.get("iters", 100),
+                         blocks=spec.get("blocks", 128),
+                         body_instrs=spec.get("body_instrs", 60))
+
+
+def synthesize(name, phases, seed=0):
+    """Build a :class:`~repro.workloads.Workload` from phase specs.
+
+    :param name: workload name for reports.
+    :param phases: list of kernel spec dicts (see module docstring).
+    :param seed: RNG seed for the stochastic content.
+    """
+    if not phases:
+        raise ValueError("need at least one phase")
+    rng = random.Random("synth-%s-%d" % (name, seed))
+    memory = {}
+    prologue = []
+    alloc = _Allocator()
+    body = ProgramBuilder(name)
+    body.label("outer")
+    for spec in phases:
+        _emit_phase(body, memory, rng, alloc, prologue, spec)
+    body.br("outer")
+    body.halt()
+    final = ProgramBuilder(name)
+    for reg, value in ((pat.R_ACC, 0),
+                       (pat.R_SEED, rng.randrange(1, 1 << 30)),
+                       (pat.R_W0, 1), (pat.R_W1, 2), (pat.R_W2, 3),
+                       (pat.R_B1, 0x2000000)):
+        final.li(reg, value)
+    for reg, value in prologue:
+        final.li(reg, value)
+    final.append_builder(body)
+    program = final.build()
+    program.validate()
+    return Workload(name, program, memory)

@@ -1,0 +1,24 @@
+"""Workload: a program plus its initial memory image and metadata."""
+
+
+class Workload:
+    """One runnable benchmark.
+
+    :param name: benchmark name ("mcf", "libquantum", ...).
+    :param program: the :class:`~repro.isa.Program`.
+    :param memory: initial memory image (byte address -> 64-bit word),
+        copied by each :class:`~repro.sim.System` so runs are isolated.
+    :param profile: the :class:`~repro.workloads.spec.Profile` that
+        produced it (carries the FOA estimate and class tags), optional.
+    """
+
+    def __init__(self, name, program, memory=None, profile=None):
+        self.name = name
+        self.program = program
+        self.memory = memory if memory is not None else {}
+        self.profile = profile
+
+    def __repr__(self):
+        return "Workload(%s, %d instrs, %d memory words)" % (
+            self.name, len(self.program), len(self.memory)
+        )

@@ -1,0 +1,38 @@
+"""Branch target buffer."""
+
+import pytest
+
+from repro.branch import BranchTargetBuffer
+
+
+def test_miss_then_hit():
+    btb = BranchTargetBuffer(entries=64)
+    assert btb.lookup(0x400) is None
+    btb.update(0x400, 0x1234)
+    assert btb.lookup(0x400) == 0x1234
+    assert btb.hits == 1 and btb.misses == 1
+
+
+def test_last_target_prediction_updates():
+    btb = BranchTargetBuffer(entries=64)
+    btb.update(0x400, 0x1000)
+    btb.update(0x400, 0x2000)
+    assert btb.lookup(0x400) == 0x2000
+
+
+def test_index_conflicts_evict():
+    btb = BranchTargetBuffer(entries=16, tag_bits=20)
+    btb.update(0x100, 0xAAAA)
+    conflicting = 0x100 + 16 * 4  # same slot, different tag
+    btb.update(conflicting, 0xBBBB)
+    assert btb.lookup(0x100) is None
+
+
+def test_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(entries=100)
+
+
+def test_storage_bits():
+    assert BranchTargetBuffer(entries=64, tag_bits=16).storage_bits() == \
+        64 * (16 + 32)

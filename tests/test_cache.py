@@ -1,0 +1,135 @@
+"""Set-associative cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import Cache
+
+
+def make(size=4096, assoc=4, block=64, listeners=None):
+    return Cache("test", size, assoc, block, eviction_listeners=listeners)
+
+
+def test_miss_then_hit():
+    cache = make()
+    assert cache.access(0x1000) is None
+    cache.fill(0x1000)
+    assert cache.access(0x1000) is not None
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_block_granularity():
+    cache = make()
+    cache.fill(0x1000)
+    assert cache.access(0x103F) is not None  # same 64B block
+    assert cache.access(0x1040) is None      # next block
+
+
+def test_lru_eviction_order():
+    cache = make(size=4 * 64, assoc=4, block=64)  # one set of 4 ways
+    addrs = [i * 64 for i in range(4)]
+    for addr in addrs:
+        cache.fill(addr)
+    cache.access(addrs[0])  # refresh way 0
+    cache.fill(4 * 64)      # evicts LRU = addrs[1]
+    assert cache.contains(addrs[0])
+    assert not cache.contains(addrs[1])
+
+
+def test_fill_refreshes_existing_line_without_eviction():
+    cache = make(size=4 * 64, assoc=4)
+    for i in range(4):
+        cache.fill(i * 64)
+    evicted = cache.fill(0)  # already resident
+    assert evicted is None
+    assert cache.occupancy() == 4
+
+
+def test_eviction_listener_invoked_with_address_and_line():
+    events = []
+    cache = make(size=2 * 64, assoc=2,
+                 listeners=[lambda addr, line: events.append((addr, line))])
+    cache.fill(0, prefetched=True, meta=0x2A)
+    cache.fill(64)
+    cache.fill(128)
+    assert len(events) == 1
+    addr, line = events[0]
+    assert addr == 0
+    assert line.prefetched and line.meta == 0x2A
+
+
+def test_useless_prefetch_counted_on_eviction():
+    cache = make(size=2 * 64, assoc=2)
+    cache.fill(0, prefetched=True)
+    cache.fill(64)
+    cache.fill(128)  # evicts the unused prefetch
+    assert cache.stats.prefetch_useless == 1
+
+
+def test_used_prefetch_not_counted_useless():
+    cache = make(size=2 * 64, assoc=2)
+    cache.fill(0, prefetched=True)
+    line = cache.access(0)
+    line.used = True
+    cache.fill(64)
+    cache.fill(128)
+    assert cache.stats.prefetch_useless == 0
+
+
+def test_invalidate():
+    cache = make()
+    cache.fill(0x1000)
+    cache.invalidate(0x1000)
+    assert not cache.contains(0x1000)
+
+
+def test_flush():
+    cache = make()
+    for i in range(10):
+        cache.fill(i * 64)
+    cache.flush()
+    assert cache.occupancy() == 0
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        Cache("bad", 1000, 4, 64)
+    with pytest.raises(ValueError):
+        Cache("bad", 4096, 4, 60)
+
+
+def test_ready_time_carried_on_prefetch_fill():
+    cache = make()
+    cache.fill(0x2000, now=10, prefetched=True, ready=50)
+    line = cache.lookup(0x2000)
+    assert line.ready == 50
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 31)), max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_matches_reference_lru_model(ops):
+    """The cache must behave exactly like a per-set LRU reference model."""
+    cache = make(size=4 * 64 * 2, assoc=4, block=64)  # 2 sets, 4 ways
+    reference = {0: [], 1: []}  # set index -> MRU-last list of blocks
+    for is_fill, block in ops:
+        addr = block * 64
+        set_index = block & 1
+        lru = reference[set_index]
+        if is_fill:
+            cache.fill(addr)
+            if block in lru:
+                lru.remove(block)
+                lru.append(block)
+            else:
+                if len(lru) == 4:
+                    lru.pop(0)
+                lru.append(block)
+        else:
+            hit = cache.access(addr) is not None
+            assert hit == (block in lru)
+            if hit:
+                lru.remove(block)
+                lru.append(block)
+    for set_index, lru in reference.items():
+        for block in lru:
+            assert cache.contains(block * 64)

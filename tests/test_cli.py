@@ -1,0 +1,49 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "libquantum" in out and "bfetch" in out
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "65% less storage" in out
+
+
+def test_run(capsys):
+    assert main(["run", "gamess", "none", "-n", "5000"]) == 0
+    out = capsys.readouterr().out
+    assert "ipc" in out
+
+
+def test_compare(capsys):
+    assert main(["compare", "gamess", "-n", "5000",
+                 "--prefetchers", "stride"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+
+
+def test_mix(capsys):
+    assert main(["mix", "gamess", "gamess", "-n", "4000",
+                 "--prefetchers", "none", "bfetch"]) == 0
+    out = capsys.readouterr().out
+    assert "normalized" in out
+
+
+def test_rejects_unknown_benchmark():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "doom", "none"])
+
+
+def test_rejects_unknown_prefetcher():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "gamess", "oracle"])

@@ -1,0 +1,65 @@
+"""Chip-multiprocessor simulation."""
+
+import pytest
+
+from repro.sim import CMPSystem, SystemConfig
+from repro.workloads import build_workload
+
+
+def make_cmp(names, prefetcher="none"):
+    return CMPSystem([build_workload(n) for n in names],
+                     SystemConfig(prefetcher=prefetcher))
+
+
+def test_requires_workloads():
+    with pytest.raises(ValueError):
+        CMPSystem([])
+
+
+def test_two_core_run_returns_per_core_results():
+    cmp_system = make_cmp(["gamess", "libquantum"])
+    results = cmp_system.run(8_000)
+    assert len(results) == 2
+    assert {r.workload for r in results} == {"gamess", "libquantum"}
+    for result in results:
+        assert result.instructions == 8_000
+        assert result.cycles > 0
+
+
+def test_llc_scales_with_core_count():
+    two = make_cmp(["gamess", "gamess"])
+    four = make_cmp(["gamess"] * 4)
+    assert four.llc.size_bytes == 2 * two.llc.size_bytes
+
+
+def test_shared_llc_contention_slows_memory_bound_app():
+    solo_cfg = SystemConfig()
+    from repro.sim import System
+    solo = System(build_workload("milc"), solo_cfg)
+    solo_result = solo.run(15_000)
+
+    paired = make_cmp(["milc", "libquantum"])
+    paired_results = paired.run(15_000)
+    milc_multi = next(r for r in paired_results if r.workload == "milc")
+    # sharing LLC + DRAM with a streaming app must not speed milc up
+    assert milc_multi.ipc <= solo_result.ipc * 1.02
+
+
+def test_fast_core_keeps_running_until_all_finish():
+    cmp_system = make_cmp(["gamess", "milc"])
+    results = cmp_system.run(10_000)
+    fast = next(r for r in results if r.workload == "gamess")
+    # the compute-bound core retired extra instructions while waiting
+    assert fast.data["total_retired"] >= fast.instructions
+
+
+def test_deterministic():
+    a = make_cmp(["milc", "libquantum"]).run(8_000)
+    b = make_cmp(["milc", "libquantum"]).run(8_000)
+    assert [r.cycles for r in a] == [r.cycles for r in b]
+
+
+def test_prefetching_helps_in_cmp():
+    base = make_cmp(["libquantum", "sphinx"]).run(10_000)
+    pf = make_cmp(["libquantum", "sphinx"], prefetcher="bfetch").run(10_000)
+    assert sum(r.ipc for r in pf) > sum(r.ipc for r in base)

@@ -1,0 +1,52 @@
+"""Energy accounting model."""
+
+import pytest
+
+from repro.analysis import EnergyModel, energy_comparison, prefetcher_energy
+from repro.analysis.energy import sram_access_energy_pj
+
+
+def test_sram_energy_scales_sublinearly():
+    small = sram_access_energy_pj(1.0)
+    big = sram_access_energy_pj(16.0)
+    assert big == pytest.approx(4 * small)
+    assert sram_access_energy_pj(0) == 0.0
+
+
+def test_model_accumulates():
+    model = EnergyModel()
+    model.add_structure("t", 4.0, accesses=100)
+    model.add_structure("t", 4.0, accesses=100)
+    model.add_dram_transfers("d", 10)
+    assert model.total_pj == pytest.approx(
+        200 * sram_access_energy_pj(4.0) + 10 * 1500.0
+    )
+
+
+def _fake_result(issued, useless, accesses=8000):
+    from repro.sim.system import RunResult
+    return RunResult({
+        "prefetch": {"issued": issued, "useless": useless, "useful": issued
+                     - useless, "late": 0, "dropped": 0, "duplicate": 0},
+        "l1d": {"accesses": accesses},
+    })
+
+
+def test_useless_prefetches_cost_energy():
+    clean = prefetcher_energy(_fake_result(1000, 0), "a", 8 * 8192)
+    dirty = prefetcher_energy(_fake_result(1000, 500), "a", 8 * 8192)
+    assert dirty.total_pj > clean.total_pj
+
+
+def test_bigger_tables_cost_energy():
+    small = prefetcher_energy(_fake_result(1000, 0), "a", 13 * 8192)
+    large = prefetcher_energy(_fake_result(1000, 0), "a", 37 * 8192)
+    assert large.total_pj > small.total_pj
+
+
+def test_comparison_shape():
+    totals = energy_comparison([
+        ("bfetch", [_fake_result(1000, 100)], 13 * 8192),
+        ("sms", [_fake_result(1000, 300)], 37 * 8192),
+    ])
+    assert totals["sms"] > totals["bfetch"]

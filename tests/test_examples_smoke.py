@@ -1,0 +1,35 @@
+"""Every example script must at least run to completion (tiny budgets)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run(script, *args):
+    return subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES, script), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+
+
+@pytest.mark.parametrize("script,args", [
+    ("quickstart.py", ("gamess", "8000")),
+    ("figure2_kernel.py", ()),
+    ("design_space.py", ("gromacs",)),
+    ("trace_workflow.py", ("gromacs", "8000")),
+    ("prefetcher_zoo.py", ("gamess", "8000")),
+])
+def test_example_runs(script, args):
+    result = _run(script, *args)
+    assert result.returncode == 0, result.stderr[-800:]
+    assert result.stdout.strip()
+
+
+def test_cmp_example_runs():
+    result = _run("cmp_contention.py", "gamess", "gamess")
+    assert result.returncode == 0, result.stderr[-800:]
+    assert "wspeedup" in result.stdout

@@ -1,0 +1,134 @@
+"""Functional interpreter semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import HaltError, Machine
+from repro.isa import MASK64, assemble
+
+
+def run(text, memory=None, steps=1000, restart=False):
+    machine = Machine(assemble(text), memory or {}, restart_on_halt=restart)
+    try:
+        for _ in range(steps):
+            machine.step()
+    except HaltError:
+        pass
+    return machine
+
+
+def test_li_add_sub():
+    m = run("li r1, 5\nli r2, 7\nadd r3, r1, r2\nsub r4, r2, r1\nhalt")
+    assert m.regs[3] == 12
+    assert m.regs[4] == 2
+
+
+def test_load_store_roundtrip():
+    m = run("li r1, 0x1000\nli r2, 99\nstore r2, 8(r1)\nload r3, 8(r1)\nhalt")
+    assert m.regs[3] == 99
+    assert m.memory[0x1008] == 99
+
+
+def test_load_from_uninitialised_memory_is_zero():
+    m = run("li r1, 0x5000\nload r2, 0(r1)\nhalt")
+    assert m.regs[2] == 0
+
+
+def test_zero_register_reads_zero_and_ignores_writes():
+    m = run("li r31, 42\nadd r1, r31, r31\nhalt")
+    assert m.regs[31] == 0
+    assert m.regs[1] == 0
+
+
+def test_branch_taken_and_not_taken():
+    m = run("li r1, 2\nloop: subi r1, r1, 1\nbnez r1, loop\nli r2, 9\nhalt")
+    assert m.regs[1] == 0 and m.regs[2] == 9
+    # one taken, one not-taken bnez plus the rest
+    assert m.instret == 6
+
+
+def test_bltz_bgez_signed():
+    m = run("li r1, -1\nbltz r1, neg\nli r2, 1\nhalt\nneg: li r2, 2\nhalt")
+    assert m.regs[2] == 2
+    m = run("li r1, 0\nbgez r1, nn\nli r2, 1\nhalt\nnn: li r2, 3\nhalt")
+    assert m.regs[2] == 3
+
+
+def test_jr_indirect():
+    # jump to the instruction at index 4 (pc base 0x1000 + 16)
+    m = run("li r1, 0x1010\njr r1\nli r2, 1\nhalt\nli r2, 2\nhalt")
+    assert m.regs[2] == 2
+
+
+def test_cmp_ops():
+    m = run("li r1, 3\nli r2, 5\ncmplt r3, r1, r2\ncmpeq r4, r1, r2\nhalt")
+    assert m.regs[3] == 1 and m.regs[4] == 0
+
+
+def test_shift_ops_mask_to_64_bits():
+    m = run("li r1, 1\nli r2, 70\nsll r3, r1, r2\nsrli r4, r1, 1\nhalt")
+    # shift amount is taken mod 64
+    assert m.regs[3] == (1 << 6)
+    assert m.regs[4] == 0
+
+
+def test_mul_masks_to_64_bits():
+    big = (1 << 40) + 3
+    m = run("li r1, %d\nmul r2, r1, r1\nhalt" % big)
+    assert m.regs[2] == (big * big) & MASK64
+
+
+def test_halt_raises_without_restart():
+    machine = Machine(assemble("halt"), restart_on_halt=False)
+    with pytest.raises(HaltError):
+        machine.step()
+    assert machine.halted
+
+
+def test_halt_restarts_when_enabled():
+    machine = Machine(assemble("addi r1, r1, 1\nhalt"), restart_on_halt=True)
+    for _ in range(6):
+        machine.step()
+    assert machine.restarts == 3
+    assert machine.regs[1] == 3
+
+
+def test_step_returns_instr_taken_ea():
+    machine = Machine(assemble("li r1, 0x100\nload r2, 8(r1)\nbr here\nhere: halt"))
+    instr, taken, ea = machine.step()
+    assert instr.op.name == "LI" and not taken and ea is None
+    instr, taken, ea = machine.step()
+    assert ea == 0x108
+    instr, taken, ea = machine.step()
+    assert taken
+
+
+def test_run_collects_records():
+    machine = Machine(assemble("addi r1, r1, 1\nhalt"), restart_on_halt=False)
+    records = machine.run(10)
+    assert len(records) == 1  # halt raised on the 2nd step
+
+
+@given(a=st.integers(-2**31, 2**31 - 1), b=st.integers(-2**31, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_alu_matches_python(a, b):
+    m = run(
+        "li r1, %d\nli r2, %d\n"
+        "add r3, r1, r2\nsub r4, r1, r2\nxor r5, r1, r2\n"
+        "cmplt r6, r1, r2\nhalt" % (a, b)
+    )
+    assert m.regs[3] == a + b
+    assert m.regs[4] == a - b
+    assert m.regs[5] == (a ^ b) & MASK64
+    assert m.regs[6] == (1 if a < b else 0)
+
+
+@given(addr=st.integers(0, 2**30).map(lambda x: x & ~7),
+       value=st.integers(0, MASK64))
+@settings(max_examples=40, deadline=None)
+def test_store_load_roundtrip_property(addr, value):
+    m = run(
+        "li r1, %d\nli r2, %d\nstore r2, 0(r1)\nload r3, 0(r1)\nhalt"
+        % (addr, value)
+    )
+    assert m.regs[3] == value & MASK64

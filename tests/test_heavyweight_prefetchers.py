@@ -1,0 +1,95 @@
+"""Heavy-weight prefetchers: ISB and STeMS (simplified)."""
+
+from repro.prefetchers import ISBPrefetcher, STeMSPrefetcher
+
+
+def drain_addrs(prefetcher):
+    out = []
+    while True:
+        request = prefetcher.queue.pop()
+        if request is None:
+            return out
+        out.append(request[0])
+
+
+IRREGULAR = [0x91, 0x17, 0x44, 0xE3, 0x08, 0xAA]  # block numbers
+
+
+class TestISB:
+    def test_replays_irregular_sequence_on_second_pass(self):
+        p = ISBPrefetcher(degree=2)
+        for block in IRREGULAR:
+            p.on_load(0x400, block << 6, hit=False, now=0)
+        drain_addrs(p)
+        p._recent.clear()
+        # second traversal: a miss on the first block prefetches successors
+        p.on_load(0x400, IRREGULAR[0] << 6, hit=False, now=0)
+        addrs = drain_addrs(p)
+        assert (IRREGULAR[1] << 6) in addrs
+        assert (IRREGULAR[2] << 6) in addrs
+
+    def test_streams_are_pc_localized(self):
+        p = ISBPrefetcher(degree=1)
+        p.on_load(0x400, 0x1000, hit=False, now=0)
+        p.on_load(0x500, 0x2000, hit=False, now=0)  # different PC
+        p.on_load(0x400, 0x3000, hit=False, now=0)
+        drain_addrs(p)
+        p._recent.clear()
+        p.on_load(0x400, 0x1000, hit=False, now=0)
+        addrs = drain_addrs(p)
+        # the structural successor of 0x1000 in PC 0x400's stream is
+        # 0x3000, not the other PC's 0x2000
+        assert addrs == [0x3000]
+
+    def test_hits_do_not_train(self):
+        p = ISBPrefetcher()
+        p.on_load(0x400, 0x1000, hit=True, now=0)
+        assert not p.ps
+
+    def test_metadata_grows_with_footprint(self):
+        p = ISBPrefetcher()
+        before = p.storage_bits()
+        for i in range(100):
+            p.on_load(0x400, i * 64, hit=False, now=0)
+        assert p.storage_bits() > before
+        assert len(p.ps) == 100 and len(p.sp) == 100
+
+
+REGION = 2048
+
+
+class TestSTeMS:
+    def _touch_region(self, p, region_index, pc, offsets=(0, 3, 7)):
+        base = region_index * REGION
+        for position, offset_block in enumerate(offsets):
+            p.on_load(pc, base + offset_block * 64, hit=position != 0, now=0)
+
+    def test_temporal_replay_streams_future_regions(self):
+        p = STeMSPrefetcher(stream_ahead=4)
+        # first pass: regions 10, 20, 30 with distinct trigger PCs
+        for region, pc in ((10, 0x100), (20, 0x200), (30, 0x300)):
+            self._touch_region(p, region, pc)
+        # end all generations so patterns commit
+        for region in (10, 20, 30):
+            p.on_l1d_eviction(region * REGION, None)
+        drain_addrs(p)
+        p._recent.clear()
+        # second pass: re-trigger region 10's event; STeMS must stream the
+        # *following* logged generations (regions 20 and 30)
+        self._touch_region(p, 10, 0x100)
+        addrs = drain_addrs(p)
+        assert any(a // REGION == 20 for a in addrs)
+        assert any(a // REGION == 30 for a in addrs)
+
+    def test_storage_exceeds_sms(self):
+        from repro.prefetchers import SMSPrefetcher
+        stems = STeMSPrefetcher()
+        for region, pc in ((1, 0x10), (2, 0x20), (3, 0x30)):
+            self._touch_region(stems, region, pc)
+        assert stems.storage_bits() > SMSPrefetcher().storage_bits()
+
+    def test_log_grows_per_generation(self):
+        p = STeMSPrefetcher()
+        for region in range(5):
+            self._touch_region(p, region, 0x100 + region * 16)
+        assert len(p.temporal_log) == 5

@@ -1,0 +1,86 @@
+"""Cross-module integration invariants.
+
+These run whole systems and check the accounting identities that must
+hold regardless of workload or prefetcher.
+"""
+
+import pytest
+
+from repro.sim import System, SystemConfig
+from repro.workloads import build_workload
+
+WORKLOADS = ("libquantum", "mcf", "milc", "sjeng")
+PREFETCHERS = ("none", "nextn", "stride", "sms", "tango", "bfetch")
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for bench in WORKLOADS:
+        for prefetcher in PREFETCHERS:
+            system = System(build_workload(bench),
+                            SystemConfig(prefetcher=prefetcher))
+            out[(bench, prefetcher)] = system.run(15_000)
+    return out
+
+
+def test_ipc_identity(results):
+    for result in results.values():
+        assert result.ipc == pytest.approx(
+            result.instructions / result.cycles
+        )
+
+
+def test_prefetch_accounting_identity(results):
+    """Resolved prefetches never exceed issued ones."""
+    for result in results.values():
+        stats = result.data["prefetch"]
+        assert stats["useful"] + stats["useless"] <= stats["issued"]
+        assert stats["late"] <= stats["useful"]
+
+
+def test_cache_hits_plus_misses_equals_accesses(results):
+    for result in results.values():
+        for level in ("l1d", "l2", "llc"):
+            stats = result.data[level]
+            assert stats["hits"] + stats["misses"] == stats["accesses"]
+
+
+def test_l1_fills_bounded_by_misses_and_prefetches(results):
+    for result in results.values():
+        l1 = result.data["l1d"]
+        assert l1["prefetch_useful"] + l1["prefetch_useless"] <= \
+            l1["prefetch_fills"]
+
+
+def test_branch_counts_consistent(results):
+    for result in results.values():
+        assert result.data["mispredicts"] <= result.data["cond_branches"] + 1
+        assert result.data["cond_branches"] <= result.data["branches"]
+
+
+def test_prefetchers_never_corrupt_architectural_state(results):
+    """Same workload must retire the same instruction mix under every
+    prefetcher (prefetching is microarchitectural only)."""
+    for bench in WORKLOADS:
+        branch_counts = {
+            results[(bench, pf)].data["branches"] for pf in PREFETCHERS
+        }
+        assert len(branch_counts) == 1, bench
+
+
+def test_prefetching_never_catastrophically_slows(results):
+    """A sane prefetcher should not halve performance."""
+    for bench in WORKLOADS:
+        base = results[(bench, "none")].ipc
+        for prefetcher in PREFETCHERS:
+            assert results[(bench, prefetcher)].ipc > 0.55 * base
+
+
+def test_dram_traffic_increases_with_prefetching(results):
+    """Prefetchers can only add DRAM traffic, never remove demand."""
+    for bench in ("libquantum", "milc"):
+        base = results[(bench, "none")].data["dram_accesses"]
+        for prefetcher in ("sms", "bfetch"):
+            assert results[(bench, prefetcher)].data["dram_accesses"] >= \
+                0.9 * base

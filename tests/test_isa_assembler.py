@@ -1,0 +1,77 @@
+"""Textual assembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, Op, assemble
+
+
+def test_assembles_loop():
+    program = assemble(
+        """
+        start:  li    r1, 3
+        loop:   load  r2, 8(r3)     ; payload
+                add   r4, r4, r2
+                addi  r3, r3, 8
+                subi  r1, r1, 1
+                bnez  r1, loop
+                halt
+        """
+    )
+    assert len(program) == 7
+    assert program.labels == {"start": 0, "loop": 1}
+    assert program[5].target == 1
+    load = program[1]
+    assert load.op == Op.LOAD and load.rd == 2 and load.ra == 3 and load.imm == 8
+
+
+def test_forward_reference():
+    program = assemble("br end\nnop\nend: halt")
+    assert program[0].target == 2
+
+
+def test_hex_immediates_and_negative_displacement():
+    program = assemble("li r1, 0xC8\nload r2, -16(r5)\nhalt")
+    assert program[0].imm == 0xC8
+    assert program[1].imm == -16
+
+
+def test_store_operand_order():
+    program = assemble("store r7, 24(r2)\nhalt")
+    store = program[0]
+    assert store.op == Op.STORE and store.rb == 7 and store.ra == 2
+    assert store.imm == 24
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblerError):
+        assemble("frobnicate r1, r2\nhalt")
+
+
+def test_bad_register():
+    with pytest.raises(AssemblerError):
+        assemble("addi r42, r1, 1\nhalt")
+
+
+def test_undefined_label():
+    with pytest.raises(AssemblerError):
+        assemble("br nowhere\nhalt")
+
+
+def test_wrong_operand_count():
+    with pytest.raises(AssemblerError):
+        assemble("add r1, r2\nhalt")
+
+
+def test_bad_memory_operand():
+    with pytest.raises(AssemblerError):
+        assemble("load r1, r2\nhalt")
+
+
+def test_comments_and_blank_lines_ignored():
+    program = assemble("# leading comment\n\nnop ; trailing\nhalt")
+    assert len(program) == 2
+
+
+def test_multiple_labels_one_line():
+    program = assemble("a: b: nop\nbr a\nhalt")
+    assert program.labels["a"] == 0 and program.labels["b"] == 0

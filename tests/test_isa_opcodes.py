@@ -1,0 +1,36 @@
+"""Opcode classification predicates."""
+
+from repro.isa import Op, is_branch, is_cond_branch, is_load, is_mem, is_store
+from repro.isa.opcodes import ALU_OPS, BRANCHES, COND_BRANCHES, MEM_OPS
+
+
+def test_conditional_branches_are_branches():
+    for op in (Op.BEQZ, Op.BNEZ, Op.BLTZ, Op.BGEZ):
+        assert is_cond_branch(op)
+        assert is_branch(op)
+
+
+def test_unconditional_branches_are_not_conditional():
+    for op in (Op.BR, Op.JR):
+        assert is_branch(op)
+        assert not is_cond_branch(op)
+
+
+def test_memory_classification():
+    assert is_load(Op.LOAD) and not is_store(Op.LOAD)
+    assert is_store(Op.STORE) and not is_load(Op.STORE)
+    assert is_mem(Op.LOAD) and is_mem(Op.STORE)
+    assert not is_mem(Op.ADD)
+
+
+def test_classification_sets_are_disjoint():
+    assert not (ALU_OPS & BRANCHES)
+    assert not (ALU_OPS & MEM_OPS)
+    assert not (MEM_OPS & BRANCHES)
+    assert COND_BRANCHES < BRANCHES
+
+
+def test_every_opcode_classified_or_misc():
+    misc = {Op.NOP, Op.HALT}
+    for op in Op:
+        assert op in ALU_OPS or op in BRANCHES or op in MEM_OPS or op in misc

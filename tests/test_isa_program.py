@@ -1,0 +1,98 @@
+"""Program construction, label resolution, PCs, basic blocks."""
+
+import pytest
+
+from repro.isa import Instr, Op, Program, extract_basic_blocks
+from repro.isa.program import INSTR_BYTES, ProgramError
+
+
+def _loop_program():
+    instrs = [
+        Instr(Op.LI, rd=1, imm=4),          # 0
+        Instr(Op.SUBI, rd=1, ra=1, imm=1),  # 1  loop:
+        Instr(Op.BNEZ, ra=1, target=1),     # 2
+        Instr(Op.HALT),                     # 3
+    ]
+    return Program(instrs, labels={"loop": 1}, base_pc=0x2000, name="loop")
+
+
+def test_pc_assignment():
+    program = _loop_program()
+    assert program[0].pc == 0x2000
+    assert program[2].pc == 0x2000 + 2 * INSTR_BYTES
+    assert program.pc_of(3) == 0x2000 + 12
+    assert program.index_of(0x2000 + 8) == 2
+
+
+def test_index_of_rejects_outside_pcs():
+    program = _loop_program()
+    with pytest.raises(ProgramError):
+        program.index_of(0x1FFC)
+    with pytest.raises(ProgramError):
+        program.index_of(0x2001)  # misaligned
+
+
+def test_label_target_resolution():
+    instrs = [
+        Instr(Op.BR, target="end"),
+        Instr(Op.NOP),
+        Instr(Op.HALT),
+    ]
+    program = Program(instrs, labels={"end": 2})
+    assert program[0].target == 2
+
+
+def test_undefined_label_raises():
+    with pytest.raises(ProgramError):
+        Program([Instr(Op.BR, target="nowhere"), Instr(Op.HALT)])
+
+
+def test_out_of_range_target_raises():
+    with pytest.raises(ProgramError):
+        Program([Instr(Op.BR, target=7), Instr(Op.HALT)])
+
+
+def test_empty_program_raises():
+    with pytest.raises(ProgramError):
+        Program([])
+
+
+def test_validate_requires_halt():
+    program = Program([Instr(Op.NOP)])
+    with pytest.raises(ProgramError):
+        program.validate()
+
+
+def test_validate_checks_register_range():
+    program = Program([Instr(Op.ADDI, rd=40, ra=1, imm=0), Instr(Op.HALT)])
+    with pytest.raises(ProgramError):
+        program.validate()
+
+
+def test_validate_accepts_well_formed():
+    assert _loop_program().validate()
+
+
+def test_basic_block_extraction():
+    program = _loop_program()
+    blocks = extract_basic_blocks(program)
+    starts = [b.start for b in blocks]
+    assert starts == [0, 1, 3]
+    # the loop block branches back to itself and falls through to halt
+    loop_block = blocks[1]
+    assert set(loop_block.successors) == {1, 3}
+    assert len(loop_block) == 2
+
+
+def test_basic_block_fallthrough_links():
+    instrs = [
+        Instr(Op.NOP),                      # 0
+        Instr(Op.BEQZ, ra=1, target=3),     # 1
+        Instr(Op.NOP),                      # 2
+        Instr(Op.HALT),                     # 3
+    ]
+    blocks = extract_basic_blocks(Program(instrs))
+    by_start = {b.start: b for b in blocks}
+    assert set(by_start[0].successors) == {3, 2}
+    assert by_start[2].successors == [3]
+    assert by_start[3].successors == []

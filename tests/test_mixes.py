@@ -1,0 +1,64 @@
+"""FOA-based multiprogrammed mix selection."""
+
+import pytest
+
+from repro.workloads import select_mixes
+from repro.workloads.mixes import foa_from_result
+
+
+def _foa(names, values):
+    return dict(zip(names, values))
+
+
+NAMES = ["a", "b", "c", "d", "e", "f"]
+
+
+def test_highest_contention_pair_first():
+    foa = _foa(NAMES, [0.9, 0.8, 0.1, 0.1, 0.05, 0.01])
+    mixes = select_mixes(foa, size=2, count=3)
+    assert mixes[0] == ("a", "b")
+
+
+def test_requested_count_returned():
+    foa = _foa(NAMES, [0.6, 0.5, 0.4, 0.3, 0.2, 0.1])
+    assert len(select_mixes(foa, size=2, count=5)) == 5
+    assert len(select_mixes(foa, size=4, count=5)) == 5
+
+
+def test_mix_members_are_distinct():
+    foa = _foa(NAMES, [0.6, 0.5, 0.4, 0.3, 0.2, 0.1])
+    for mix in select_mixes(foa, size=4, count=6):
+        assert len(set(mix)) == 4
+
+
+def test_appearance_cap_enforces_diversity():
+    foa = _foa(NAMES, [10.0, 9.0, 0.1, 0.1, 0.1, 0.1])
+    mixes = select_mixes(foa, size=2, count=5, max_appearances=2)
+    from collections import Counter
+    uses = Counter(name for mix in mixes for name in mix)
+    assert uses["a"] <= 2 and uses["b"] <= 2
+
+
+def test_deterministic():
+    foa = _foa(NAMES, [0.6, 0.5, 0.4, 0.3, 0.2, 0.1])
+    assert select_mixes(foa, 2, 7) == select_mixes(foa, 2, 7)
+
+
+def test_invalid_size():
+    foa = _foa(NAMES, [1] * 6)
+    with pytest.raises(ValueError):
+        select_mixes(foa, size=0)
+    with pytest.raises(ValueError):
+        select_mixes(foa, size=7)
+
+
+def test_foa_from_result():
+    class FakeResult:
+        data = {"cycles": 1000, "llc": {"accesses": 250}}
+    assert foa_from_result(FakeResult()) == 0.25
+
+
+def test_foa_zero_cycles():
+    class FakeResult:
+        data = {"cycles": 0, "llc": {"accesses": 0}}
+    assert foa_from_result(FakeResult()) == 0.0

@@ -1,0 +1,93 @@
+"""Additional timing-core behaviours around branches and fetch groups."""
+
+from repro.isa import assemble
+from repro.sim import System, SystemConfig
+from repro.workloads import Workload
+
+
+def build(text, memory=None, **kwargs):
+    return System(Workload("unit", assemble(text), memory or {}),
+                  SystemConfig(**kwargs))
+
+
+UNCOND = """
+outer:  addi r1, r1, 1
+        br   mid
+        halt
+mid:    addi r2, r2, 1
+        br   outer
+        halt
+"""
+
+
+def test_unconditional_branches_never_mispredict():
+    system = build(UNCOND)
+    system.core.run(10_000)
+    assert system.core.mispredicts == 0
+    assert system.core.branches > 1000
+    assert system.core.cond_branches == 0
+
+
+def test_unconditional_branches_train_confidence():
+    system = build(UNCOND)
+    system.core.run(5_000)
+    program = system.workload.program
+    br_pc = program.pc_of(1)
+    # repeated always-taken branches should look highly confident
+    assert system.confidence.probability(br_pc, 0) > 0.9
+
+
+def test_taken_branch_ends_fetch_group():
+    system = build(UNCOND)
+    system.core.run(10_000)
+    hist = system.core.fetch_branch_hist
+    # each group contains exactly one (taken) branch
+    assert hist[1] > 0
+    assert hist[2] == hist[3] == hist[4] == 0
+
+
+NEVER_TAKEN = """
+outer:  addi r1, r1, 1
+        bnez r31, outer
+        addi r2, r2, 1
+        bnez r31, outer
+        addi r3, r3, 1
+        br   outer
+        halt
+"""
+
+
+def test_never_taken_separators_learned():
+    system = build(NEVER_TAKEN)
+    system.core.run(10_000)
+    # bnez on the zero register is never taken; after warmup the
+    # tournament predictor nails it
+    assert system.core.mispredict_rate < 0.01
+    # multiple not-taken branches can share a fetch group
+    assert system.core.fetch_branch_hist[2] > 0
+
+
+def test_bfetch_walks_through_not_taken_separators():
+    system = build(NEVER_TAKEN, prefetcher="bfetch")
+    system.core.run(20_000)
+    pf = system.prefetcher
+    assert pf.walks > 100
+    assert pf.brtc.hit_rate > 0.5
+    # the walk steps through both not-taken separators; it may stop at
+    # the unconditional back-edge (whose direction the predictor never
+    # trains), so the mean depth sits between 2 and 3
+    assert pf.mean_lookahead_depth > 2
+
+
+def test_ifetch_miss_stalls_fetch_once():
+    system = build(UNCOND)
+    system.core.run(1_000)
+    assert system.hierarchy.l1i.stats.misses >= 1
+    # after warmup the tiny program is fully L1I resident
+    before = system.hierarchy.l1i.stats.misses
+    system.core.budget += 1_000
+    system.core.done = False
+    now = system.core.cycle
+    while not system.core.done:
+        now = system.core.step_cycle(now)
+    assert system.hierarchy.l1i.stats.misses == before

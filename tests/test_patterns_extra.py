@@ -1,0 +1,105 @@
+"""Additional kernel-generator behaviours: wrap-around, ballast, switch."""
+
+import random
+
+import pytest
+
+from repro.cpu import Machine
+from repro.workloads import Workload
+from repro.workloads.builder import ProgramBuilder
+from repro.workloads.patterns import (
+    PERSISTENT_REGS,
+    R_ACC,
+    R_SEED,
+    R_W0,
+    R_W1,
+    R_W2,
+    emit_multistream,
+    emit_region,
+    emit_stream,
+)
+
+
+def _finish(body, pro, name="k"):
+    body.br("outer")
+    body.halt()
+    final = ProgramBuilder(name)
+    for reg, value in ((R_ACC, 0), (R_SEED, 1), (R_W0, 1), (R_W1, 2),
+                       (R_W2, 3)):
+        final.li(reg, value)
+    for reg, value in pro:
+        final.li(reg, value)
+    final.append_builder(body)
+    return Workload(name, final.build(), {})
+
+
+def test_persistent_stream_wraps_at_region_end():
+    pro = []
+    body = ProgramBuilder("w")
+    body.label("outer")
+    # 4 elems x 64B per lap through a 512B region: wraps every other lap
+    emit_stream(body, 0x10000, elems=4, stride=64,
+                pos_reg=PERSISTENT_REGS[0], size=512, prologue=pro)
+    workload = _finish(body, pro)
+    machine = Machine(workload.program)
+    for _ in range(2000):
+        machine.step()
+    pos = machine.regs[PERSISTENT_REGS[0]]
+    assert 0x10000 <= pos <= 0x10000 + 512 + 64
+
+
+def test_ballast_emits_requested_work():
+    plain = ProgramBuilder("a")
+    plain.label("outer")
+    emit_stream(plain, 0x1000, elems=8, work=0)
+    loaded = ProgramBuilder("b")
+    loaded.label("outer")
+    emit_stream(loaded, 0x1000, elems=8, work=6)
+    assert len(loaded.instrs) == len(plain.instrs) + 6
+
+
+def test_multistream_rejects_bad_counts():
+    body = ProgramBuilder("m")
+    with pytest.raises(ValueError):
+        emit_multistream(body, [], elems=10)
+    with pytest.raises(ValueError):
+        emit_multistream(body, [(0x1000, 8)] * 5, elems=10)
+
+
+def test_multistream_mixed_persistent_and_scratch():
+    pro = []
+    body = ProgramBuilder("m")
+    body.label("outer")
+    emit_multistream(
+        body,
+        [(0x10000, 64, PERSISTENT_REGS[0], 1 << 20), (0x20000, 8)],
+        elems=16, prologue=pro,
+    )
+    workload = _finish(body, pro)
+    machine = Machine(workload.program)
+    for _ in range(3000):
+        machine.step()
+    assert machine.regs[PERSISTENT_REGS[0]] > 0x10000
+
+
+def test_region_kernel_touches_all_offsets():
+    pro = []
+    body = ProgramBuilder("r")
+    body.label("outer")
+    offsets = [0, 128, 320]
+    emit_region(body, 0x40000, region_bytes=512, offsets=offsets,
+                regions=8)
+    workload = _finish(body, pro)
+    machine = Machine(workload.program)
+    touched = set()
+    for _ in range(400):
+        instr, taken, ea = machine.step()
+        if instr.is_load and ea is not None:
+            touched.add(ea % 512)
+    assert set(offsets) <= touched
+
+
+def test_persistent_walk_reg_validated():
+    body = ProgramBuilder("x")
+    with pytest.raises(ValueError):
+        emit_stream(body, 0x1000, 4, pos_reg=5, size=1024, prologue=[])

@@ -1,0 +1,77 @@
+"""Perceptron branch predictor."""
+
+import pytest
+
+from repro.branch import PerceptronPredictor
+
+
+def test_learns_biased_branch():
+    p = PerceptronPredictor(entries=64)
+    for _ in range(50):
+        p.update(0x100, True)
+    assert p.predict(0x100)
+
+
+def test_learns_history_correlation():
+    """taken iff the previous outcome was not-taken (period-2 pattern)."""
+    p = PerceptronPredictor(entries=64, history_bits=8)
+    for i in range(400):
+        p.update(0x200, i % 2 == 0)
+    correct = 0
+    for i in range(40):
+        taken = i % 2 == 0
+        correct += p.predict(0x200) == taken
+        p.update(0x200, taken)
+    assert correct >= 38
+
+
+def test_learns_xor_of_history_bits():
+    """A pattern linear in history (parity of position) that a 2-bit
+    counter scheme cannot capture but a perceptron can."""
+    p = PerceptronPredictor(entries=64, history_bits=8)
+    outcomes = [True, True, False, False] * 200
+    for taken in outcomes:
+        p.update(0x300, taken)
+    correct = 0
+    for i, taken in enumerate([True, True, False, False] * 10):
+        correct += p.predict(0x300) == taken
+        p.update(0x300, taken)
+    assert correct >= 36
+
+
+def test_weights_saturate():
+    p = PerceptronPredictor(entries=16, history_bits=4, weight_bits=4)
+    for _ in range(1000):
+        p.update(0x40, True)
+    weights = p.weights[(0x40 >> 2) & 15]
+    assert all(abs(w) <= p.weight_limit for w in weights)
+
+
+def test_speculative_lookup_side_effect_free():
+    p = PerceptronPredictor(entries=64)
+    for _ in range(20):
+        p.update(0x500, True)
+    snapshot = [list(w) for w in p.weights]
+    history = p.history
+    p.predict(0x500, history=0xABC)
+    assert p.history == history
+    assert [list(w) for w in p.weights] == snapshot
+
+
+def test_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        PerceptronPredictor(entries=100)
+
+
+def test_storage_accounting():
+    p = PerceptronPredictor(entries=512, history_bits=24, weight_bits=8)
+    assert p.storage_bits() == 512 * 25 * 8 + 24
+
+
+def test_system_config_integration():
+    from repro.sim import SystemConfig
+    config = SystemConfig(branch_predictor="perceptron")
+    predictor = config.make_predictor()
+    assert predictor.name == "perceptron"
+    with pytest.raises(ValueError):
+        SystemConfig(branch_predictor="psychic")

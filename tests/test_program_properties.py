@@ -1,0 +1,83 @@
+"""Property-based tests over randomly generated programs.
+
+Generates random (but well-formed) programs through the builder and
+checks whole-stack invariants: validation passes, the interpreter never
+crashes or leaves the program, and the timing core terminates with
+consistent accounting.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import Machine
+from repro.isa import extract_basic_blocks
+from repro.sim import System, SystemConfig
+from repro.workloads import Workload
+from repro.workloads.builder import ProgramBuilder
+
+_REG = st.integers(1, 30)
+_IMM = st.integers(-1024, 1024)
+
+
+@st.composite
+def random_programs(draw):
+    """A random endless-loop program: straight-line ALU/memory blocks
+    separated by a conditional loop structure."""
+    builder = ProgramBuilder("prop")
+    builder.li(1, draw(st.integers(1, 50)))  # loop counter
+    builder.li(2, 0x100000)                  # memory base
+    builder.label("loop")
+    body_len = draw(st.integers(1, 12))
+    for _ in range(body_len):
+        choice = draw(st.integers(0, 4))
+        if choice == 0:
+            builder.addi(draw(_REG), draw(_REG), draw(_IMM))
+        elif choice == 1:
+            builder.add(draw(_REG), draw(_REG), draw(_REG))
+        elif choice == 2:
+            builder.load(draw(_REG), abs(draw(_IMM)), 2)
+        elif choice == 3:
+            builder.store(draw(_REG), abs(draw(_IMM)), 2)
+        else:
+            builder.xor(draw(_REG), draw(_REG), draw(_REG))
+    builder.addi(2, 2, draw(st.integers(0, 256)))
+    builder.subi(1, 1, 1)
+    builder.bnez(1, "loop")
+    builder.li(1, draw(st.integers(1, 50)))
+    builder.br("loop")
+    builder.halt()
+    return builder.build()
+
+
+@given(random_programs())
+@settings(max_examples=25, deadline=None)
+def test_generated_programs_validate_and_run(program):
+    assert program.validate()
+    machine = Machine(program)
+    for _ in range(2000):
+        machine.step()
+    assert machine.instret == 2000
+
+
+@given(random_programs())
+@settings(max_examples=15, deadline=None)
+def test_basic_blocks_partition_program(program):
+    blocks = extract_basic_blocks(program)
+    covered = []
+    for block in blocks:
+        covered.extend(range(block.start, block.end))
+    assert covered == list(range(len(program)))
+
+
+@given(random_programs(), st.sampled_from(["none", "stride", "bfetch"]))
+@settings(max_examples=10, deadline=None)
+def test_timing_core_terminates_with_consistent_accounting(program, pf):
+    system = System(Workload("prop", program, {}),
+                    SystemConfig(prefetcher=pf))
+    result = system.run(3000)
+    assert result.instructions >= 3000
+    assert result.cycles > 0
+    stats = result.data["prefetch"]
+    assert stats["useful"] + stats["useless"] <= stats["issued"]
+    for level in ("l1d", "l2", "llc"):
+        data = result.data[level]
+        assert data["hits"] + data["misses"] == data["accesses"]

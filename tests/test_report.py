@@ -1,0 +1,52 @@
+"""Consolidated report generation."""
+
+import os
+
+from repro.analysis.report import (
+    EXPERIMENT_INDEX,
+    build_report,
+    collect_results,
+    write_report,
+)
+
+
+def _seed_results(tmp_path, stems):
+    for stem in stems:
+        with open(os.path.join(str(tmp_path), stem + ".txt"), "w") as f:
+            f.write("== %s ==\nvalue 1.0\n" % stem)
+
+
+def test_collect_results_partitions(tmp_path):
+    _seed_results(tmp_path, ["fig08_single", "table1_overhead"])
+    present, missing = collect_results(str(tmp_path))
+    assert len(present) == 2
+    assert len(present) + len(missing) == len(EXPERIMENT_INDEX)
+
+
+def test_build_report_includes_bodies_and_missing(tmp_path):
+    _seed_results(tmp_path, ["fig08_single"])
+    report = build_report(str(tmp_path))
+    assert "single-threaded speedups" in report
+    assert "value 1.0" in report
+    assert "Missing:" in report
+
+
+def test_write_report(tmp_path):
+    _seed_results(tmp_path, ["fig08_single", "fig11_useful"])
+    out = str(tmp_path / "REPORT.md")
+    count = write_report(str(tmp_path), out)
+    assert count == 2
+    assert os.path.exists(out)
+
+
+def test_index_covers_every_benchmark_module():
+    import glob
+    stems = {entry[1] for entry in EXPERIMENT_INDEX}
+    bench_dir = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+    modules = {
+        os.path.basename(path)[len("test_"):-len(".py")]
+        for path in glob.glob(os.path.join(bench_dir, "test_*.py"))
+    }
+    # every bench module archives at least one indexed experiment
+    # (module names and archive stems differ; check count parity instead)
+    assert len(stems) >= len(modules)

@@ -1,0 +1,75 @@
+"""Experiment runner and result cache."""
+
+import os
+
+import pytest
+
+from repro.sim import ExperimentRunner
+from repro.sim.runner import scaled
+
+
+def test_scaled_respects_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    assert scaled(100_000) == 50_000
+    monkeypatch.setenv("REPRO_SCALE", "4")
+    assert scaled(100_000) == 400_000
+    monkeypatch.delenv("REPRO_SCALE")
+    assert scaled(100_000) == 100_000
+
+
+def test_scaled_floor(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.000001")
+    assert scaled(100_000) == 1000
+
+
+def test_run_single_cached_on_disk(tmp_path):
+    runner = ExperimentRunner(cache_dir=str(tmp_path))
+    first = runner.run_single("gamess", "none", instructions=5_000)
+    files = os.listdir(tmp_path)
+    assert len(files) == 1
+    second = runner.run_single("gamess", "none", instructions=5_000)
+    assert second.as_dict() == first.as_dict()
+
+
+def test_cache_distinguishes_configs(tmp_path):
+    runner = ExperimentRunner(cache_dir=str(tmp_path))
+    runner.run_single("gamess", "none", instructions=5_000)
+    runner.run_single("gamess", "stride", instructions=5_000)
+    assert len(os.listdir(tmp_path)) == 2
+
+
+def test_config_prefetcher_mismatch_rejected():
+    from repro.sim import SystemConfig
+    runner = ExperimentRunner()
+    with pytest.raises(ValueError):
+        runner.run_single("gamess", "stride", 5_000,
+                          config=SystemConfig(prefetcher="sms"))
+
+
+def test_speedup_of_baseline_is_one():
+    runner = ExperimentRunner()
+    assert runner.speedup("gamess", "none", instructions=5_000) == 1.0
+
+
+def test_run_mix_cached(tmp_path):
+    runner = ExperimentRunner(cache_dir=str(tmp_path))
+    first = runner.run_mix(("gamess", "gamess"), instructions=4_000)
+    second = runner.run_mix(("gamess", "gamess"), instructions=4_000)
+    assert [r.as_dict() for r in first] == [r.as_dict() for r in second]
+
+
+def test_foa_map_covers_requested_benchmarks():
+    runner = ExperimentRunner()
+    foa = runner.foa_map(["gamess", "libquantum"], instructions=5_000)
+    assert set(foa) == {"gamess", "libquantum"}
+    # the streaming benchmark hammers the LLC far harder
+    assert foa["libquantum"] > foa["gamess"]
+
+
+def test_weighted_speedup_normalized_baseline_is_one():
+    runner = ExperimentRunner()
+    value = runner.weighted_speedup_normalized(
+        ("gamess", "gamess"), "none",
+        instructions=4_000, single_instructions=4_000,
+    )
+    assert value == pytest.approx(1.0)

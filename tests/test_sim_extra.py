@@ -1,0 +1,68 @@
+"""Additional sim-layer behaviours: mix fallback, CMP determinism under
+policies, config descriptions, reporting round-trips."""
+
+import pytest
+
+from repro.sim import CMPSystem, SystemConfig, geomean
+from repro.sim.config import make_prefetcher
+from repro.workloads import build_workload, select_mixes
+
+
+def test_select_mixes_relaxes_cap_when_too_tight():
+    # 4 names, mixes of 2 -> only 6 candidates; cap of 1 appearance can
+    # satisfy at most 2 mixes, so the fallback pass must fill the rest
+    foa = {"a": 4.0, "b": 3.0, "c": 2.0, "d": 1.0}
+    mixes = select_mixes(foa, size=2, count=5, max_appearances=1)
+    assert len(mixes) == 5
+    assert len(set(mixes)) == 5
+
+
+def test_select_mixes_exhausts_candidates_gracefully():
+    foa = {"a": 1.0, "b": 2.0}
+    mixes = select_mixes(foa, size=2, count=10)
+    assert mixes == [("a", "b")]
+
+
+def test_cmp_with_llc_policy():
+    from repro.memory.hierarchy import HierarchyConfig
+    config = SystemConfig(hierarchy=HierarchyConfig(llc_policy="pacman"))
+    cmp_system = CMPSystem([build_workload("gamess")] * 2, config)
+    results = cmp_system.run(5_000)
+    assert all(r.ipc > 0 for r in results)
+    assert cmp_system.llc.policy is not None
+
+
+def test_config_key_distinguishes_new_knobs():
+    base = SystemConfig().key()
+    assert SystemConfig(branch_predictor="perceptron").key() != base
+    from repro.core import BFetchConfig
+    assert SystemConfig(
+        bfetch=BFetchConfig(instruction_prefetch=True)
+    ).key() != base
+    from repro.memory.hierarchy import HierarchyConfig
+    assert SystemConfig(
+        hierarchy=HierarchyConfig(llc_policy="srrip")
+    ).key() != base
+
+
+def test_every_prefetcher_runs_end_to_end_briefly():
+    from repro.sim import System
+    from repro.sim.config import PREFETCHER_NAMES
+    workload = build_workload("soplex")
+    ipcs = {}
+    for name in PREFETCHER_NAMES:
+        system = System(workload, SystemConfig(prefetcher=name))
+        ipcs[name] = system.run(8_000).ipc
+    assert all(value > 0 for value in ipcs.values())
+    assert ipcs["perfect"] >= max(
+        v for k, v in ipcs.items() if k != "perfect"
+    ) * 0.9
+
+
+def test_geomean_of_single_value():
+    assert geomean([3.7]) == pytest.approx(3.7)
+
+
+def test_make_prefetcher_instances_are_fresh():
+    config = SystemConfig(prefetcher="sms")
+    assert make_prefetcher(config) is not make_prefetcher(config)

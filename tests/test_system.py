@@ -1,0 +1,87 @@
+"""End-to-end System assembly and RunResult contents."""
+
+import pytest
+
+from repro.sim import RunResult, System, SystemConfig
+from repro.sim.config import PREFETCHER_NAMES, make_prefetcher
+from repro.workloads import build_workload
+
+
+def test_unknown_prefetcher_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(prefetcher="oracle9000")
+
+
+@pytest.mark.parametrize("name", PREFETCHER_NAMES)
+def test_factory_builds_every_prefetcher(name):
+    prefetcher = make_prefetcher(SystemConfig(prefetcher=name))
+    assert prefetcher.storage_bits() >= 0
+
+
+def test_run_result_contents():
+    system = System(build_workload("gamess"), SystemConfig())
+    result = system.run(10_000)
+    data = result.as_dict()
+    assert data["instructions"] >= 10_000
+    assert data["cycles"] > 0
+    assert 0 < data["ipc"] < 8
+    assert data["workload"] == "gamess"
+    assert data["prefetcher"] == "none"
+    for key in ("l1d", "l2", "llc", "prefetch", "fetch_branch_hist"):
+        assert key in data
+
+
+def test_run_result_attribute_access():
+    result = RunResult({"ipc": 1.5})
+    assert result.ipc == 1.5
+    with pytest.raises(AttributeError):
+        result.nonexistent
+
+
+def test_bfetch_result_extra_fields():
+    system = System(build_workload("libquantum"),
+                    SystemConfig(prefetcher="bfetch"))
+    result = system.run(15_000)
+    assert "mean_lookahead_depth" in result.data
+    assert result.data["brtc_hit_rate"] >= 0
+
+
+def test_systems_are_isolated():
+    """Two systems over the same workload must not share memory state."""
+    workload = build_workload("mcf")
+    a = System(workload, SystemConfig())
+    b = System(workload, SystemConfig())
+    a.machine.memory[0xDEAD0] = 42
+    assert b.machine.memory.get(0xDEAD0) != 42
+
+
+def test_describe_matches_table2():
+    rows = dict(SystemConfig().describe())
+    assert "4-wide" in rows["CPU"]
+    assert "192-entry ROB" in rows["CPU"]
+    assert "64KB 8-way" in rows["L1I & L1D cache"]
+    assert "256KB" in rows["L2 cache"]
+    assert "2MB/core 16-way" in rows["Shared L3 cache"]
+    assert rows["Branch path confidence threshold"] == "0.75"
+    assert rows["Per-load filter threshold"] == "3"
+
+
+def test_prefetcher_improves_memory_bound_benchmark():
+    base = System(build_workload("libquantum"), SystemConfig())
+    bf = System(build_workload("libquantum"), SystemConfig(prefetcher="bfetch"))
+    base_result = base.run(40_000)
+    bf_result = bf.run(40_000)
+    assert bf_result.ipc > 1.5 * base_result.ipc
+
+
+def test_perfect_dominates_on_memory_bound():
+    base = System(build_workload("milc"), SystemConfig())
+    oracle = System(build_workload("milc"), SystemConfig(prefetcher="perfect"))
+    assert oracle.run(30_000).ipc > base.run(30_000).ipc
+
+
+def test_compute_bound_benchmark_insensitive():
+    base = System(build_workload("gamess"), SystemConfig())
+    bf = System(build_workload("gamess"), SystemConfig(prefetcher="bfetch"))
+    ratio = bf.run(30_000).ipc / base.run(30_000).ipc
+    assert 0.95 < ratio < 1.1

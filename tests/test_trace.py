@@ -1,0 +1,84 @@
+"""Trace capture and replay."""
+
+import pytest
+
+from repro.cpu import Machine
+from repro.cpu.trace import TraceReplay, capture_trace, save_trace
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("gromacs")
+
+
+def test_capture_has_header_and_records(workload):
+    text = capture_trace(workload, 500)
+    lines = text.splitlines()
+    assert lines[0].startswith("#repro-trace v1")
+    assert len(lines) == 501
+
+
+def test_replay_matches_live_execution(workload):
+    text = capture_trace(workload, 2000)
+    replay = TraceReplay(workload.program, text)
+    live = Machine(workload.program, dict(workload.memory))
+    for _ in range(2000):
+        r_instr, r_taken, r_ea = replay.step()
+        l_instr, l_taken, l_ea = live.step()
+        assert r_instr is l_instr
+        assert r_taken == l_taken
+        assert r_ea == l_ea
+    assert replay.exhausted
+
+
+def test_replay_rejects_wrong_program(workload):
+    text = capture_trace(workload, 100)
+    other = build_workload("libquantum")
+    with pytest.raises(ValueError):
+        TraceReplay(other.program, text)
+
+
+def test_replay_rejects_garbage(workload):
+    with pytest.raises(ValueError):
+        TraceReplay(workload.program, "not a trace")
+
+
+def test_exhausted_raises(workload):
+    replay = TraceReplay(workload.program, capture_trace(workload, 10))
+    for _ in range(10):
+        replay.step()
+    with pytest.raises(StopIteration):
+        replay.step()
+
+
+def test_save_and_load_roundtrip(tmp_path, workload):
+    path = str(tmp_path / "trace.txt")
+    count = save_trace(path, workload, 300)
+    assert count == 300
+    replay = TraceReplay.load(workload.program, path)
+    instr, taken, ea = replay.step()
+    assert instr is workload.program.instrs[instr.index]
+
+
+def test_replay_drives_timing_core(workload):
+    """A miss-driven prefetcher A/B run on a frozen trace."""
+    from repro.branch import BranchTargetBuffer, CompositeConfidenceEstimator
+    from repro.branch.tournament import TournamentPredictor
+    from repro.cpu.ooo import OutOfOrderCore
+    from repro.memory.hierarchy import MemoryHierarchy
+    from repro.prefetchers import StridePrefetcher
+
+    text = capture_trace(workload, 3000)
+    replay = TraceReplay(workload.program, text)
+    core = OutOfOrderCore(
+        replay,
+        MemoryHierarchy(),
+        TournamentPredictor(),
+        CompositeConfidenceEstimator(),
+        BranchTargetBuffer(),
+        StridePrefetcher(),
+    )
+    cycles = core.run(2500)
+    assert core.retired >= 2500
+    assert cycles > 0
