@@ -4,7 +4,9 @@ Each ``test_*`` module regenerates one table or figure of the paper.
 Simulation results are memoised under ``benchmarks/.cache`` (delete it to
 force recomputation); rendered tables are printed and archived under
 ``benchmarks/results``.  Set ``REPRO_SCALE`` to trade fidelity for time
-(e.g. ``REPRO_SCALE=0.25 pytest benchmarks/``).
+(e.g. ``REPRO_SCALE=0.25 pytest benchmarks/``) and ``REPRO_JOBS`` to fan
+cold sweeps out over worker processes (results are byte-identical to
+serial; see DESIGN.md "Performance & parallelism").
 """
 
 import os

@@ -1,0 +1,50 @@
+"""Fast smoke test for the perf micro-harness (tiny instruction budget).
+
+Guards that ``python -m repro bench-perf`` keeps working and emitting
+schema-correct, machine-readable JSON; real trajectory points are
+recorded with much larger budgets (see README.md).
+"""
+
+import json
+import os
+
+from repro.cli import main as cli_main
+from repro.perf import COMPONENTS, run_perf_suite, write_bench_json
+from repro.perf.harness import SCHEMA, bench_sweep
+
+
+def test_suite_payload_schema(tmp_path):
+    payload = run_perf_suite(benchmark="gamess", instructions=2_000,
+                             label="smoke")
+    assert payload["schema"] == SCHEMA
+    assert payload["label"] == "smoke"
+    assert set(payload["components"]) == set(COMPONENTS)
+    for component in COMPONENTS:
+        row = payload["components"][component]
+        assert row["instructions"] == 2_000
+        assert row["instr_per_sec"] > 0
+    out = write_bench_json(payload, str(tmp_path / "BENCH_smoke.json"))
+    with open(out) as handle:
+        assert json.load(handle) == payload
+
+
+def test_sweep_smoke_serial_parallel_identical():
+    sweep = bench_sweep(("gamess", "libquantum"), ("none", "stride"),
+                        instructions=2_000, jobs=2)
+    assert sweep["runs"] == 4
+    assert sweep["results_identical"] is True
+    assert sweep["serial_seconds"] > 0 and sweep["parallel_seconds"] > 0
+
+
+def test_cli_bench_perf_writes_json(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_cli.json")
+    rc = cli_main([
+        "bench-perf", "--benchmark", "gamess", "-n", "2000", "--out", out,
+    ])
+    assert rc == 0
+    captured = capsys.readouterr().out
+    assert "perf suite" in captured and "full_system" in captured
+    assert os.path.exists(out)
+    with open(out) as handle:
+        payload = json.load(handle)
+    assert payload["schema"] == SCHEMA

@@ -6,8 +6,14 @@ from repro.workloads import BENCHMARKS, PREFETCH_SENSITIVE
 
 
 def single_speedups(runner, prefetchers, budget, config_for=None,
-                    base_config=None):
+                    base_config=None, jobs=None):
     """Per-benchmark speedups vs the no-prefetch baseline.
+
+    The whole benchmark x prefetcher grid goes through the runner's
+    parallel :meth:`~repro.sim.ExperimentRunner.sweep` batch API: cache
+    hits are served directly and only the misses are fanned out over the
+    process pool (``REPRO_JOBS`` / *jobs*), with output identical to the
+    serial path.
 
     :param config_for: optional ``fn(prefetcher) -> SystemConfig``.
     :param base_config: optional baseline SystemConfig (must keep
@@ -15,15 +21,20 @@ def single_speedups(runner, prefetchers, budget, config_for=None,
     :returns: rows ``[(bench, {pf: speedup})]`` ready for rendering.
     """
     instructions = scaled(budget)
+    baselines, table = runner.sweep(
+        BENCHMARKS, prefetchers, instructions,
+        config_for=config_for, base_config=base_config, jobs=jobs,
+    )
     rows = []
     for bench in BENCHMARKS:
-        base = runner.run_single(bench, "none", instructions, base_config)
-        values = {}
-        for prefetcher in prefetchers:
-            config = config_for(prefetcher) if config_for else None
-            run = runner.run_single(bench, prefetcher, instructions, config)
-            values[prefetcher] = run.ipc / base.ipc
-        rows.append((bench, values))
+        base_ipc = baselines[bench].ipc
+        rows.append((
+            bench,
+            {
+                prefetcher: table[bench][prefetcher].ipc / base_ipc
+                for prefetcher in prefetchers
+            },
+        ))
     return rows
 
 

@@ -3,6 +3,10 @@
 The paper's limit study: a perfect L1-D prefetcher gives ~2x geometric
 mean speedup (13.8x on libquantum), while Stride and SMS capture only
 part of it; several compute-bound benchmarks gain nothing.
+
+Evaluated through the parallel ``run_many`` batch engine (see
+``single_speedups``): independent (benchmark, prefetcher) runs fan out
+over ``REPRO_JOBS`` worker processes with byte-identical results.
 """
 
 from repro_common import append_geomeans, single_speedups

@@ -3,6 +3,12 @@
 Paper: B-Fetch 23.2% geomean vs SMS 19.7% (50.0% vs 41.5% across the
 prefetch-sensitive subset); B-Fetch wins everywhere except cactusADM,
 lbm, milc and zeusmp, with milc the one large gap.
+
+The 18-benchmark x 3-prefetcher grid (plus the shared no-prefetch
+baseline) is evaluated through the parallel ``run_many`` batch engine
+(``single_speedups`` -> ``ExperimentRunner.sweep``): cache hits are
+served directly, misses fan out over ``REPRO_JOBS`` worker processes,
+and the resulting table is byte-identical to a serial evaluation.
 """
 
 from repro_common import append_geomeans, single_speedups

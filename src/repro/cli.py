@@ -3,18 +3,23 @@
 Commands
 --------
 
-``run``      one benchmark under one prefetcher, full stats dump
-``compare``  one benchmark under several prefetchers (speedup table)
-``mix``      a multiprogrammed mix on the shared-LLC CMP
-``table1``   the Table I storage-overhead accounting
-``list``     available benchmarks and prefetchers
+``run``        one benchmark under one prefetcher, full stats dump
+``compare``    one benchmark under several prefetchers (speedup table)
+``mix``        a multiprogrammed mix on the shared-LLC CMP
+``table1``     the Table I storage-overhead accounting
+``list``       available benchmarks and prefetchers
+``bench-perf`` perf micro-harness (simulated instr/sec, BENCH_*.json)
+
+Parallelism: ``--jobs N`` (or the ``REPRO_JOBS`` environment variable)
+fans independent runs out over a process pool; results are byte-identical
+to serial execution.
 """
 
 import argparse
 import sys
 
 from repro.analysis import overhead_table, render_table
-from repro.sim import CMPSystem, ExperimentRunner, SystemConfig
+from repro.sim import CMPSystem, ExperimentRunner, RunRequest, SystemConfig
 from repro.sim.config import PREFETCHER_NAMES
 from repro.sim.metrics import weighted_speedup
 from repro.workloads import BENCHMARKS, build_workload
@@ -26,10 +31,18 @@ def _add_common(parser):
                         help="dynamic instructions to simulate")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for memoised results")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="worker processes for independent runs "
+                             "(default: REPRO_JOBS or cpu count)")
+
+
+def _make_runner(args):
+    return ExperimentRunner(cache_dir=args.cache_dir,
+                            jobs=getattr(args, "jobs", None))
 
 
 def cmd_run(args):
-    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    runner = _make_runner(args)
     result = runner.run_single(args.benchmark, args.prefetcher,
                                args.instructions)
     for key, value in sorted(result.as_dict().items()):
@@ -38,12 +51,15 @@ def cmd_run(args):
 
 
 def cmd_compare(args):
-    runner = ExperimentRunner(cache_dir=args.cache_dir)
-    base = runner.run_single(args.benchmark, "none", args.instructions)
+    runner = _make_runner(args)
+    batch = runner.run_many(
+        [RunRequest(args.benchmark, "none", args.instructions)]
+        + [RunRequest(args.benchmark, prefetcher, args.instructions)
+           for prefetcher in args.prefetchers]
+    )
+    base, results = batch[0], batch[1:]
     rows = []
-    for prefetcher in args.prefetchers:
-        result = runner.run_single(args.benchmark, prefetcher,
-                                   args.instructions)
+    for prefetcher, result in zip(args.prefetchers, results):
         rows.append((prefetcher, {
             "ipc": result.ipc,
             "speedup": result.ipc / base.ipc,
@@ -57,10 +73,13 @@ def cmd_compare(args):
 
 
 def cmd_mix(args):
-    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    runner = _make_runner(args)
     singles = [
-        runner.run_single(name, "none", args.instructions).ipc
-        for name in args.apps
+        result.ipc
+        for result in runner.run_many(
+            [RunRequest(name, "none", args.instructions)
+             for name in args.apps]
+        )
     ]
     baseline = None
     rows = []
@@ -89,6 +108,31 @@ def cmd_table1(args):
               % (owner, name, entries if entries else "-", size))
     print("B-Fetch uses %.0f%% less storage than SMS"
           % (100 * (1 - bf_total / sms_total)))
+    return 0
+
+
+def cmd_bench_perf(args):
+    from repro.perf import run_perf_suite, write_bench_json
+    from repro.perf.harness import render_summary
+
+    sweep_benchmarks = None
+    if args.sweep:
+        sweep_benchmarks = (
+            list(BENCHMARKS) if args.sweep_benchmarks is None
+            else args.sweep_benchmarks
+        )
+    payload = run_perf_suite(
+        benchmark=args.benchmark,
+        instructions=args.instructions,
+        sweep_benchmarks=sweep_benchmarks,
+        sweep_instructions=args.sweep_instructions,
+        jobs=args.jobs if args.jobs is not None else 4,
+        label=args.label,
+    )
+    print(render_summary(payload))
+    if not args.no_write:
+        path = write_bench_json(payload, args.out)
+        print("wrote %s" % path)
     return 0
 
 
@@ -133,6 +177,33 @@ def build_parser():
 
     table1 = sub.add_parser("table1", help="storage overhead accounting")
     table1.set_defaults(func=cmd_table1)
+
+    bench = sub.add_parser(
+        "bench-perf",
+        help="time simulated instr/sec per component; write BENCH_*.json",
+    )
+    bench.add_argument("--benchmark", default="libquantum",
+                       choices=BENCHMARKS,
+                       help="workload used for the component timings")
+    bench.add_argument("-n", "--instructions", type=int, default=30_000,
+                       help="instruction budget per component timing")
+    bench.add_argument("--sweep", action="store_true",
+                       help="also time a cold-cache serial-vs-parallel sweep")
+    bench.add_argument("--sweep-benchmarks", nargs="+", default=None,
+                       choices=BENCHMARKS,
+                       help="benchmarks for the sweep (default: all)")
+    bench.add_argument("--sweep-instructions", type=int, default=10_000,
+                       help="instruction budget per sweep run")
+    bench.add_argument("-j", "--jobs", type=int, default=None,
+                       help="worker processes for the parallel sweep pass")
+    bench.add_argument("--label", default=None,
+                       help="free-form label stored in the JSON payload")
+    bench.add_argument("--out", default=None,
+                       help="output path (default benchmarks/perf/"
+                            "BENCH_<timestamp>.json)")
+    bench.add_argument("--no-write", action="store_true",
+                       help="print the summary without writing a file")
+    bench.set_defaults(func=cmd_bench_perf)
 
     lister = sub.add_parser("list", help="list benchmarks and prefetchers")
     lister.set_defaults(func=cmd_list)

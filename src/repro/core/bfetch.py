@@ -14,8 +14,11 @@ confidence estimator (Section IV-C argues the predictor has the spare
 ports); call :meth:`BFetchPrefetcher.attach` during system assembly.
 """
 
-from repro.branch.path_confidence import PathConfidence
+from repro.branch.path_confidence import PathConfidence  # noqa: F401 (API)
 from repro.core.arf import AlternateRegisterFile
+from repro.isa.opcodes import IS_BRANCH as _IS_BRANCH, Op
+
+_OP_LOAD = int(Op.LOAD)
 from repro.core.brtc import BranchTraceCache
 from repro.core.config import BFetchConfig
 from repro.core.hashing import bb_hash, load_pc_hash
@@ -75,15 +78,17 @@ class BFetchPrefetcher(Prefetcher):
     # training (commit-time)
 
     def on_commit(self, instr, ea, taken, next_pc, regs, now):
-        self._commit_seq += 1
+        seq = self._commit_seq + 1
+        self._commit_seq = seq
         rd = instr.rd
         if rd is not None and rd != 31:
             # value becomes ARF-visible when the writer completes execution;
             # `now` is the core-supplied completion estimate
-            self.arf.write(rd, regs[rd], self._commit_seq, now)
-        if instr.is_branch:
+            self.arf.write(rd, regs[rd], seq, now)
+        op = instr.op
+        if _IS_BRANCH[op]:
             self._train_branch(instr, taken, next_pc, now)
-        elif instr.is_load:
+        elif op == _OP_LOAD:
             self._train_load(instr, ea)
 
     def _train_branch(self, instr, taken, next_pc, now):
@@ -160,16 +165,22 @@ class BFetchPrefetcher(Prefetcher):
 
     def on_branch_decode(self, pc, pred_taken, target, now):
         """Run one lookahead walk starting at the decoded branch."""
-        if self.predictor is None:
+        predictor = self.predictor
+        if predictor is None:
             raise RuntimeError("BFetchPrefetcher.attach() was never called")
         cfg = self.config
         self.arf.sync(now)
         self.walks += 1
 
-        spec_history = self.predictor.history
-        path = PathConfidence(cfg.path_confidence_threshold)
-        path.extend(self.confidence.probability(pc, spec_history))
-        if not path.confident:
+        # The walk maintains the multiplicative PaCo path confidence
+        # inline (see branch.path_confidence for the object form): one
+        # float product instead of an object allocation plus two method
+        # calls per walked branch.
+        threshold = cfg.path_confidence_threshold
+        probability = self.confidence.probability
+        spec_history = predictor.history
+        path_value = probability(pc, spec_history)
+        if path_value < threshold:
             return
         if pred_taken:
             if target is None:
@@ -177,27 +188,33 @@ class BFetchPrefetcher(Prefetcher):
             next_pc = target
         else:
             next_pc = pc + 4
-        state_hash = bb_hash(pc, pred_taken, next_pc)
+        _bb_hash = bb_hash
+        brtc_lookup = self.brtc.lookup
+        predict = predictor.predict
+        prefetch_block = self._prefetch_block
+        instruction_prefetch = cfg.instruction_prefetch
+        max_lookahead = cfg.max_lookahead
+        state_hash = _bb_hash(pc, pred_taken, next_pc)
         state_tag = pc & 0xFFFFFFFF
         spec_history = (spec_history << 1) | (1 if pred_taken else 0)
 
         visits = {}
         depth = 0
         entry_pc = next_pc
-        while depth < cfg.max_lookahead:
+        while depth < max_lookahead:
             depth += 1
             revisit = visits.get(state_hash, 0)
             visits[state_hash] = revisit + 1
-            self._prefetch_block(state_hash, state_tag, revisit)
-            step = self.brtc.lookup(state_hash, state_tag)
+            prefetch_block(state_hash, state_tag, revisit)
+            step = brtc_lookup(state_hash, state_tag)
             if step is None:
                 break
             end_pc, end_taken_target = step
-            if cfg.instruction_prefetch and end_pc >= entry_pc:
+            if instruction_prefetch and end_pc >= entry_pc:
                 self._prefetch_instr_range(entry_pc, end_pc)
-            direction = self.predictor.predict(end_pc, spec_history)
-            path.extend(self.confidence.probability(end_pc, spec_history))
-            if not path.confident:
+            direction = predict(end_pc, spec_history)
+            path_value *= probability(end_pc, spec_history)
+            if path_value < threshold:
                 break
             if direction:
                 if end_taken_target is None:
@@ -205,7 +222,7 @@ class BFetchPrefetcher(Prefetcher):
                 next_pc = end_taken_target
             else:
                 next_pc = end_pc + 4
-            state_hash = bb_hash(end_pc, direction, next_pc)
+            state_hash = _bb_hash(end_pc, direction, next_pc)
             state_tag = end_pc & 0xFFFFFFFF
             spec_history = (spec_history << 1) | (1 if direction else 0)
             entry_pc = next_pc
@@ -232,34 +249,39 @@ class BFetchPrefetcher(Prefetcher):
         cfg = self.config
         block_bytes = cfg.block_bytes
         arf_values = self.arf.values
+        push = self.push
+        use_filter = cfg.use_filter
+        filter_allow = self.filter.allow
+        loop_prefetch = cfg.loop_prefetch
+        pattern_prefetch = cfg.pattern_prefetch
         for slot in entry.slots:
             if not slot.valid or not slot.stable:
                 continue
             self.candidates += 1
-            if cfg.use_filter and not self.filter.allow(slot.load_hash):
+            load_hash = slot.load_hash
+            if use_filter and not filter_allow(load_hash):
                 self.filtered += 1
                 continue
             ea = arf_values[slot.regidx] + slot.offset
-            if cfg.loop_prefetch and revisit:
+            if loop_prefetch and revisit:
                 ea += revisit * slot.loopdelta
             ea &= _MASK64
-            self.push(ea, slot.load_hash)
-            if not cfg.pattern_prefetch:
+            push(ea, load_hash)
+            if not pattern_prefetch:
                 continue
             block = ea & ~(block_bytes - 1)
             pattern = slot.pospatt
             step = 1
             while pattern:
                 if pattern & 1:
-                    self.push(block + step * block_bytes, slot.load_hash)
+                    push(block + step * block_bytes, load_hash)
                 pattern >>= 1
                 step += 1
             pattern = slot.negpatt
             step = 1
             while pattern:
                 if pattern & 1:
-                    self.push((block - step * block_bytes) & _MASK64,
-                              slot.load_hash)
+                    push((block - step * block_bytes) & _MASK64, load_hash)
                 pattern >>= 1
                 step += 1
 

@@ -53,8 +53,18 @@ class PerLoadFilter:
 
     def confidence(self, load_hash):
         """Sum of the skewed counters for this load PC hash."""
+        tables = self.tables
+        if len(tables) == 3:
+            # fast path for the paper's three-table shape: no tuple
+            # construction / slicing / zip per probe
+            mask = self._mask
+            return (
+                tables[0][load_hash & mask]
+                + tables[1][((load_hash * 0x9E3779B1) >> 6) & mask]
+                + tables[2][((load_hash * 0x85EBCA6B) >> 3) & mask]
+            )
         total = 0
-        for table, index in zip(self.tables, self._indices(load_hash)):
+        for table, index in zip(tables, self._indices(load_hash)):
             total += table[index]
         return total
 

@@ -23,9 +23,29 @@ The model is deliberately idle-cycle-skipping: when fetch cannot proceed
 memory-bound regions cheap to simulate without changing any outcome.
 """
 
-from repro.isa.opcodes import Op
+from repro.isa.opcodes import (
+    IS_ALU as _IS_ALU,
+    IS_BRANCH as _IS_BRANCH,
+    IS_COND_BRANCH as _IS_COND_BRANCH,
+    Op,
+)
+from repro.prefetchers.base import Prefetcher as _BasePrefetcher
 
 _FETCH_HIST_BUCKETS = 4
+
+# plain-int opcodes for the dispatch hot path (IntEnum attribute lookups
+# cost a global + class-attr load per comparison)
+_OP_LOAD = int(Op.LOAD)
+_OP_STORE = int(Op.STORE)
+_OP_MUL = int(Op.MUL)
+_OP_JR = int(Op.JR)
+
+
+def _noop_hook(unbound, bound):
+    """True when *bound* is the no-op base-class implementation of
+    *unbound* -- lets the core skip the call entirely."""
+    func = getattr(bound, "__func__", None)
+    return func is unbound
 
 
 class CoreConfig:
@@ -63,6 +83,23 @@ class OutOfOrderCore:
         self.confidence = confidence
         self.btb = btb
         self.prefetcher = prefetcher
+        # Pre-bind prefetcher hooks, dropping ones that are base-class
+        # no-ops: the "none" baseline and the miss-driven prefetchers
+        # then pay zero per-instruction call overhead for unused events.
+        if prefetcher is None:
+            self._pf_on_commit = None
+            self._pf_on_branch_decode = None
+        else:
+            hook = prefetcher.on_commit
+            self._pf_on_commit = (
+                None if _noop_hook(_BasePrefetcher.on_commit, hook) else hook
+            )
+            hook = prefetcher.on_branch_decode
+            self._pf_on_branch_decode = (
+                None
+                if _noop_hook(_BasePrefetcher.on_branch_decode, hook)
+                else hook
+            )
         self.config = config or CoreConfig()
         # pipeline state
         self.cycle = 0
@@ -112,7 +149,8 @@ class OutOfOrderCore:
             del rob[:head]
             self._rob_head = 0
             head = 0
-        if retired >= self.budget:
+        budget = self.budget
+        if retired >= budget:
             self.done = True
             return now + 1
 
@@ -126,29 +164,39 @@ class OutOfOrderCore:
         branches_in_group = 0
         rob_cap = cfg.rob_entries
         if now >= self.fetch_stall_until:
-            machine = self.machine
+            machine_step = self.machine.step
+            dispatch = self._dispatch
             hierarchy = self.hierarchy
-            dispatched_total = retired + (len(rob) - self._rob_head)
+            l1_latency = hierarchy.config.l1_latency
+            is_branch = _IS_BRANCH
+            # _rob_head is only moved by retire, so in-flight occupancy
+            # can be tracked locally instead of re-measuring the ROB list
+            # on every loop iteration
+            in_flight = len(rob) - head
+            dispatched_total = retired + in_flight
+            fetch_block = self._fetch_block
             while (
                 fetched < width
-                and len(rob) - self._rob_head < rob_cap
-                and dispatched_total < self.budget
+                and in_flight < rob_cap
+                and dispatched_total < budget
             ):
-                instr, taken, ea = machine.step()
+                instr, taken, ea = machine_step()
                 pc = instr.pc
                 block = pc >> 6
-                if block != self._fetch_block:
-                    self._fetch_block = block
+                if block != fetch_block:
+                    fetch_block = block
                     ifetch_latency = hierarchy.ifetch(pc, now)
-                    if ifetch_latency > hierarchy.config.l1_latency:
+                    if ifetch_latency > l1_latency:
                         self.fetch_stall_until = now + ifetch_latency
                 fetched += 1
+                in_flight += 1
                 dispatched_total += 1
-                group_ends = self._dispatch(instr, taken, ea, now)
-                if instr.is_branch:
+                group_ends = dispatch(instr, taken, ea, now)
+                if is_branch[instr.op]:
                     branches_in_group += 1
                 if group_ends:
                     break
+            self._fetch_block = fetch_block
         if fetched:
             self.fetch_cycles += 1
             if branches_in_group:
@@ -181,14 +229,14 @@ class OutOfOrderCore:
         if ra is not None and reg_ready[ra] > ready:
             ready = reg_ready[ra]
         rb = instr.rb
-        if op == Op.STORE or (rb is not None and instr.is_alu):
-            if rb is not None and reg_ready[rb] > ready:
+        if rb is not None and (op == _OP_STORE or _IS_ALU[op]):
+            if reg_ready[rb] > ready:
                 ready = reg_ready[rb]
 
         group_ends = False
         prefetcher = self.prefetcher
 
-        if op == Op.LOAD:
+        if op == _OP_LOAD:
             if prefetcher is not None and prefetcher.is_perfect:
                 latency = self.hierarchy.access_oracle(ea, ready)
             else:
@@ -197,7 +245,7 @@ class OutOfOrderCore:
                     prefetcher.on_load(instr.pc, ea, hit, now)
             complete = ready + latency
             reg_ready[instr.rd] = complete
-        elif op == Op.STORE:
+        elif op == _OP_STORE:
             if prefetcher is not None and prefetcher.is_perfect:
                 self.hierarchy.access_oracle(ea, ready)
             else:
@@ -205,22 +253,22 @@ class OutOfOrderCore:
                 if prefetcher is not None:
                     prefetcher.on_store(instr.pc, ea, True, now)
             complete = ready + cfg.store_latency
-        elif instr.is_branch:
+        elif _IS_BRANCH[op]:
             complete = ready + cfg.alu_latency
             group_ends = self._handle_branch(instr, taken, now, complete)
             self.branches += 1
         else:
-            if op == Op.MUL:
+            if op == _OP_MUL:
                 complete = ready + cfg.mul_latency
             else:
                 complete = ready + cfg.alu_latency
             if instr.rd is not None:
                 reg_ready[instr.rd] = complete
         self.rob.append(complete)
-        if prefetcher is not None:
-            prefetcher.on_commit(
-                instr, ea, taken, self.machine.pc, self.machine.regs, complete
-            )
+        on_commit = self._pf_on_commit
+        if on_commit is not None:
+            machine = self.machine
+            on_commit(instr, ea, taken, machine.pc, machine.regs, complete)
         return group_ends
 
     def _handle_branch(self, instr, taken, now, resolve_time):
@@ -229,41 +277,43 @@ class OutOfOrderCore:
         pc = instr.pc
         actual_next = self.machine.pc
         op = instr.op
+        predictor = self.predictor
+        on_branch_decode = self._pf_on_branch_decode
 
-        if instr.is_cond_branch:
-            history = self.predictor.history
-            predicted = self.predictor.predict(pc)
+        if _IS_COND_BRANCH[op]:
+            history = predictor.history
+            predicted = predictor.predict(pc)
             correct = predicted == taken
             self.cond_branches += 1
             if not correct:
                 self.mispredicts += 1
             self.confidence.update(pc, history, correct, taken)
-            self.predictor.update(pc, taken)
-            taken_target = pc + 4 * (instr.target - instr.index)
-            if self.prefetcher is not None:
-                self.prefetcher.on_branch_decode(pc, predicted, taken_target, now)
+            predictor.update(pc, taken)
+            if on_branch_decode is not None:
+                taken_target = pc + 4 * (instr.target - instr.index)
+                on_branch_decode(pc, predicted, taken_target, now)
             if not correct:
                 self.fetch_stall_until = resolve_time + cfg.redirect_penalty
                 return True
             return predicted  # predicted-taken ends the fetch group
-        if op == Op.JR:
+        if op == _OP_JR:
             predicted_target = self.btb.lookup(pc)
             self.btb.update(pc, actual_next)
             correct = predicted_target == actual_next
             # train the confidence estimator on indirect targets too, so
             # the lookahead's path confidence reflects JR predictability
-            self.confidence.update(pc, self.predictor.history, correct, True)
-            if self.prefetcher is not None:
-                self.prefetcher.on_branch_decode(pc, True, predicted_target, now)
+            self.confidence.update(pc, predictor.history, correct, True)
+            if on_branch_decode is not None:
+                on_branch_decode(pc, True, predicted_target, now)
             if not correct:
                 self.mispredicts += 1
                 self.fetch_stall_until = resolve_time + cfg.redirect_penalty
             return True
         # direct unconditional: target known at decode, no mispredict
-        taken_target = pc + 4 * (instr.target - instr.index)
-        self.confidence.update(pc, self.predictor.history, True, True)
-        if self.prefetcher is not None:
-            self.prefetcher.on_branch_decode(pc, True, taken_target, now)
+        self.confidence.update(pc, predictor.history, True, True)
+        if on_branch_decode is not None:
+            taken_target = pc + 4 * (instr.target - instr.index)
+            on_branch_decode(pc, True, taken_target, now)
         return True
 
     # ------------------------------------------------------------------

@@ -57,6 +57,15 @@ REG_ALU = frozenset(
 )
 ALU_OPS = IMM_ALU | REG_ALU
 
+# int-indexed classification tables for hot loops: ``IS_BRANCH[op]`` is a
+# single list index, vs. a property call plus frozenset probe for
+# ``instr.is_branch`` -- measurably cheaper at simulation scale.
+NUM_OPS = int(max(Op)) + 1
+IS_BRANCH = tuple(op in BRANCHES for op in range(NUM_OPS))
+IS_COND_BRANCH = tuple(op in COND_BRANCHES for op in range(NUM_OPS))
+IS_ALU = tuple(op in ALU_OPS for op in range(NUM_OPS))
+IS_MEM = tuple(op in MEM_OPS for op in range(NUM_OPS))
+
 
 def is_branch(op):
     """Return True for any control-flow instruction (conditional or not)."""

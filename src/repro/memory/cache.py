@@ -149,17 +149,29 @@ class Cache:
         evicted = None
         if len(cache_set) >= self.assoc:
             if policy is None:
-                victim_block = min(cache_set, key=lambda b: cache_set[b].lru)
+                # lambda-free LRU victim scan: min() with a key lambda
+                # costs a function call per way on every eviction
+                victim_block = None
+                victim_lru = None
+                for candidate, candidate_line in cache_set.items():
+                    lru = candidate_line.lru
+                    if victim_lru is None or lru < victim_lru:
+                        victim_lru = lru
+                        victim_block = candidate
             else:
                 victim_block = policy.select_victim(self, cache_set)
             evicted = cache_set.pop(victim_block)
-            self.stats.evictions += 1
+            stats = self.stats
+            stats.evictions += 1
             if evicted.dirty:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
             if evicted.prefetched and not evicted.used:
-                self.stats.prefetch_useless += 1
-            for listener in self.eviction_listeners:
-                listener(victim_block << self.block_shift, evicted)
+                stats.prefetch_useless += 1
+            listeners = self.eviction_listeners
+            if listeners:
+                addr = victim_block << self.block_shift
+                for listener in listeners:
+                    listener(addr, evicted)
         if ready is None:
             ready = now
         line = Line(self._tick, prefetched, meta, False, ready)

@@ -1,0 +1,192 @@
+"""Micro-harness timing the simulator's hot paths.
+
+Measures simulated-instructions-per-second for three components:
+
+* ``functional`` -- the architectural interpreter alone
+  (:class:`~repro.cpu.functional.Machine`);
+* ``ooo`` -- the cycle-stepped timing core with the full memory
+  hierarchy, no prefetcher;
+* ``full_system`` -- the same plus the B-Fetch engine (lookahead walks,
+  MHT/BrTC training, per-load filter), i.e. the Fig. 8 configuration.
+
+plus an optional end-to-end *sweep* comparison that times a cold-cache
+Fig. 8-style batch serially and through the parallel
+:meth:`~repro.sim.ExperimentRunner.run_many` engine.
+
+Results are written as machine-readable ``BENCH_*.json`` files (schema
+``repro-perf-v1``) under ``benchmarks/perf/`` so the repo accumulates a
+perf trajectory over time; run via ``python -m repro bench-perf``.
+"""
+
+import datetime
+import json
+import os
+import platform
+import tempfile
+import time
+
+from repro.cpu.functional import Machine
+from repro.sim.config import SystemConfig
+from repro.sim.runner import ExperimentRunner, RunRequest
+from repro.sim.system import System
+from repro.workloads.spec import build_workload
+
+SCHEMA = "repro-perf-v1"
+COMPONENTS = ("functional", "ooo", "full_system")
+
+# Fig. 8 prefetcher columns (stride / SMS / B-Fetch vs the baseline)
+SWEEP_PREFETCHERS = ("none", "stride", "sms", "bfetch")
+
+
+def _time_run(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def bench_component(component, benchmark="libquantum", instructions=30_000):
+    """Time one component; returns ``{instructions, seconds, instr_per_sec}``.
+
+    Construction cost (workload build, table allocation) is excluded --
+    only the simulation loop is timed.
+    """
+    workload = build_workload(benchmark)
+    if component == "functional":
+        machine = Machine(workload.program, dict(workload.memory))
+        seconds = _time_run(lambda: machine.run(instructions))
+    elif component == "ooo":
+        system = System(workload, SystemConfig(prefetcher="none"))
+        seconds = _time_run(lambda: system.run(instructions))
+    elif component == "full_system":
+        system = System(workload, SystemConfig(prefetcher="bfetch"))
+        seconds = _time_run(lambda: system.run(instructions))
+    else:
+        raise ValueError(
+            "unknown component %r (choose from %s)"
+            % (component, ", ".join(COMPONENTS))
+        )
+    return {
+        "instructions": instructions,
+        "seconds": seconds,
+        "instr_per_sec": instructions / seconds if seconds else 0.0,
+    }
+
+
+def bench_sweep(benchmarks, prefetchers=SWEEP_PREFETCHERS,
+                instructions=10_000, jobs=4):
+    """Cold-cache sweep wall-clock: serial vs parallel ``run_many``.
+
+    Both passes use fresh temporary cache directories, so each measures a
+    complete cold evaluation of ``len(benchmarks) x len(prefetchers)``
+    runs.  Returns serial/parallel wall times, the speedup, and a
+    byte-identity flag comparing the two result sets.
+    """
+    requests = [
+        RunRequest(bench, prefetcher, instructions)
+        for bench in benchmarks
+        for prefetcher in prefetchers
+    ]
+    with tempfile.TemporaryDirectory() as serial_dir:
+        serial_runner = ExperimentRunner(cache_dir=serial_dir)
+        start = time.perf_counter()
+        serial_results = serial_runner.run_many(requests, jobs=1)
+        serial_seconds = time.perf_counter() - start
+    with tempfile.TemporaryDirectory() as parallel_dir:
+        parallel_runner = ExperimentRunner(cache_dir=parallel_dir)
+        start = time.perf_counter()
+        parallel_results = parallel_runner.run_many(requests, jobs=jobs)
+        parallel_seconds = time.perf_counter() - start
+    identical = [r.as_dict() for r in serial_results] == [
+        r.as_dict() for r in parallel_results
+    ]
+    return {
+        "runs": len(requests),
+        "benchmarks": list(benchmarks),
+        "prefetchers": list(prefetchers),
+        "instructions_per_run": instructions,
+        "jobs": jobs,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "parallel_speedup": (
+            serial_seconds / parallel_seconds if parallel_seconds else 0.0
+        ),
+        "results_identical": identical,
+    }
+
+
+def run_perf_suite(benchmark="libquantum", instructions=30_000,
+                   sweep_benchmarks=None, sweep_instructions=10_000,
+                   jobs=4, label=None):
+    """Run the component timings (and optional sweep); returns the payload.
+
+    :param sweep_benchmarks: iterable of benchmark names to include in the
+        serial-vs-parallel sweep comparison; None/empty skips the sweep.
+    """
+    payload = {
+        "schema": SCHEMA,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "label": label,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benchmark": benchmark,
+        "components": {
+            component: bench_component(component, benchmark, instructions)
+            for component in COMPONENTS
+        },
+    }
+    if sweep_benchmarks:
+        payload["sweep"] = bench_sweep(
+            sweep_benchmarks, instructions=sweep_instructions, jobs=jobs
+        )
+    return payload
+
+
+def default_output_dir():
+    """``benchmarks/perf/`` when run from a repo checkout, else the CWD."""
+    candidate = os.path.join(os.getcwd(), "benchmarks", "perf")
+    if os.path.isdir(os.path.join(os.getcwd(), "benchmarks")):
+        return candidate
+    return os.getcwd()
+
+
+def write_bench_json(payload, out_path=None):
+    """Write *payload* to ``BENCH_<utc timestamp>.json``; returns the path."""
+    if out_path is None:
+        stamp = datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y%m%d_%H%M%S"
+        )
+        out_path = os.path.join(default_output_dir(), "BENCH_%s.json" % stamp)
+    directory = os.path.dirname(out_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return out_path
+
+
+def render_summary(payload):
+    """Human-readable one-screen summary of a perf payload."""
+    lines = ["perf suite: %s @ %d instructions"
+             % (payload["benchmark"],
+                payload["components"]["functional"]["instructions"])]
+    for component in COMPONENTS:
+        row = payload["components"][component]
+        lines.append(
+            "  %-12s %12.0f instr/s  (%.3fs)"
+            % (component, row["instr_per_sec"], row["seconds"])
+        )
+    sweep = payload.get("sweep")
+    if sweep:
+        lines.append(
+            "  sweep: %d runs  serial %.2fs  parallel(%d jobs) %.2fs  "
+            "speedup %.2fx  identical=%s"
+            % (sweep["runs"], sweep["serial_seconds"], sweep["jobs"],
+               sweep["parallel_seconds"], sweep["parallel_speedup"],
+               sweep["results_identical"])
+        )
+    return "\n".join(lines)

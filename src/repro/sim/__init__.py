@@ -4,7 +4,7 @@ from repro.sim.config import SystemConfig, make_prefetcher
 from repro.sim.system import RunResult, System
 from repro.sim.cmp import CMPSystem
 from repro.sim.metrics import geomean, normalize, weighted_speedup
-from repro.sim.runner import ExperimentRunner
+from repro.sim.runner import ExperimentRunner, RunRequest, default_jobs, scaled
 
 __all__ = [
     "SystemConfig",
@@ -13,6 +13,9 @@ __all__ = [
     "RunResult",
     "CMPSystem",
     "ExperimentRunner",
+    "RunRequest",
+    "default_jobs",
+    "scaled",
     "geomean",
     "normalize",
     "weighted_speedup",

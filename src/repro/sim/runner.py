@@ -1,22 +1,37 @@
-"""Experiment runner with a JSON result cache.
+"""Experiment runner: JSON result cache + parallel batch execution.
 
-Every table/figure reproduction is a composition of three primitives:
+Every table/figure reproduction is a composition of four primitives:
 
 * :meth:`ExperimentRunner.run_single` -- one benchmark, one prefetcher;
+* :meth:`ExperimentRunner.run_many` -- a *batch* of independent single
+  runs, fanned out over a process pool with cache-aware scheduling;
 * :meth:`ExperimentRunner.run_mix` -- one multiprogrammed mix on the CMP;
 * :meth:`ExperimentRunner.foa_map` -- solo-run FOA values feeding the
   Chandra mix selection.
 
 Results are memoised on disk keyed by (cache version, workload, budget,
-full config identity), so sweeps that share a baseline -- every figure
-shares the no-prefetch runs -- never recompute it.  Set the environment
-variable ``REPRO_SCALE`` to scale all instruction budgets (e.g. ``0.25``
-for quick smoke runs, ``4`` for higher-fidelity numbers).
+full config identity) and in a per-process memory memo, so sweeps that
+share a baseline -- every figure shares the no-prefetch runs -- never
+recompute *or re-parse* it.  The disk layout shards entries into
+``<cache_dir>/<kind>/<digest prefix>/`` directories and every write is
+atomic (temp file + ``os.replace``), so concurrent workers and
+interrupted runs can never publish a truncated entry; a corrupt entry is
+discarded and recomputed instead of crashing the sweep.
+
+Environment knobs:
+
+* ``REPRO_SCALE`` scales all instruction budgets (e.g. ``0.25`` for quick
+  smoke runs, ``4`` for higher-fidelity numbers);
+* ``REPRO_JOBS`` sets the default worker count for :meth:`run_many`
+  (defaults to ``os.cpu_count()``; ``1`` forces serial execution).
 """
 
 import hashlib
 import json
 import os
+import tempfile
+from collections import namedtuple
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.sim.cmp import CMPSystem
 from repro.sim.config import SystemConfig
@@ -25,52 +40,216 @@ from repro.sim.system import RunResult, System
 from repro.workloads.mixes import foa_from_result
 from repro.workloads.spec import build_workload
 
-CACHE_VERSION = 1
+# v2: sharded cache layout (<kind>/<digest prefix>/ subdirectories)
+CACHE_VERSION = 2
 
 # default per-run instruction budgets (pre-REPRO_SCALE)
 DEFAULT_SINGLE_BUDGET = 200_000
 DEFAULT_MIX_BUDGET = 60_000
 
+# digest characters used for the shard subdirectory fan-out
+_SHARD_CHARS = 2
+
+# (raw REPRO_SCALE string, parsed float) -- parsing the environment on
+# every call showed up in sweep profiles; the raw-string comparison keeps
+# monkeypatched environments working.
+_scale_cache = (None, 1.0)
+
 
 def scaled(budget):
-    """Apply the REPRO_SCALE environment knob to an instruction budget."""
-    scale = float(os.environ.get("REPRO_SCALE", "1"))
+    """Apply the REPRO_SCALE environment knob to an instruction budget.
+
+    The parse is memoised on the raw string value; a non-numeric value
+    raises a clear :class:`ValueError` instead of a bare float() error.
+    """
+    global _scale_cache
+    raw = os.environ.get("REPRO_SCALE")
+    cached_raw, scale = _scale_cache
+    if raw != cached_raw:
+        if raw is None:
+            scale = 1.0
+        else:
+            try:
+                scale = float(raw)
+            except ValueError:
+                raise ValueError(
+                    "REPRO_SCALE must be a number (e.g. 0.25 or 4), "
+                    "got %r" % (raw,)
+                )
+        _scale_cache = (raw, scale)
     return max(1000, int(budget * scale))
 
 
-class ExperimentRunner:
-    """Runs simulations with on-disk memoisation.
+def default_jobs():
+    """Worker count for parallel batches: ``REPRO_JOBS`` or cpu count."""
+    raw = os.environ.get("REPRO_JOBS")
+    if raw:
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                "REPRO_JOBS must be an integer, got %r" % (raw,)
+            )
+        return max(1, jobs)
+    return os.cpu_count() or 1
 
-    :param cache_dir: directory for cached results; None disables caching.
+
+class RunRequest(
+    namedtuple(
+        "RunRequest",
+        ("benchmark", "prefetcher", "instructions", "config", "variant"),
+    )
+):
+    """One independent single-core job for :meth:`ExperimentRunner.run_many`.
+
+    Unspecified fields take the same defaults as
+    :meth:`~ExperimentRunner.run_single`.
     """
 
-    def __init__(self, cache_dir=None):
+    __slots__ = ()
+
+    def __new__(cls, benchmark, prefetcher="none", instructions=None,
+                config=None, variant=0):
+        return super().__new__(
+            cls, benchmark, prefetcher, instructions, config, variant
+        )
+
+
+def _execute_single(benchmark, prefetcher, instructions, config, variant):
+    """Worker body: build and run one system; returns the result dict.
+
+    Module-level so it pickles for the process pool; simulation is fully
+    deterministic (seeded workload construction, no wall-clock inputs),
+    which is what makes parallel output byte-identical to serial.
+    """
+    system = System(build_workload(benchmark, variant), config)
+    return system.run(instructions).as_dict()
+
+
+class ExperimentRunner:
+    """Runs simulations with on-disk + in-memory memoisation.
+
+    :param cache_dir: directory for cached results; None disables the disk
+        cache (the in-memory memo stays active for the runner's lifetime).
+    :param jobs: default worker count for :meth:`run_many`; None defers to
+        ``REPRO_JOBS`` / cpu count at call time.
+    """
+
+    def __init__(self, cache_dir=None, jobs=None):
         self.cache_dir = cache_dir
+        self.jobs = jobs
+        self._memo = {}
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
 
     # ------------------------------------------------------------------
+    # cache plumbing
 
-    def _cache_path(self, kind, payload):
-        if not self.cache_dir:
-            return None
-        digest = hashlib.sha1(
+    def _digest(self, kind, payload):
+        return hashlib.sha1(
             json.dumps([CACHE_VERSION, kind, payload], sort_keys=True).encode()
         ).hexdigest()
-        return os.path.join(self.cache_dir, "%s-%s.json" % (kind, digest[:16]))
 
-    def _cached(self, path):
-        if path and os.path.exists(path):
+    def _cache_path(self, kind, payload):
+        """Sharded cache location for a payload (None when caching is off).
+
+        Layout: ``<cache_dir>/<kind>/<digest[:2]>/<kind>-<digest>.json``.
+        Sharding bounds directory size during wide sweeps and gives
+        concurrent writers (different shards) less directory contention.
+        """
+        if not self.cache_dir:
+            return None
+        digest = self._digest(kind, payload)
+        return os.path.join(
+            self.cache_dir,
+            kind,
+            digest[:_SHARD_CHARS],
+            "%s-%s.json" % (kind, digest[:16]),
+        )
+
+    def _memo_key(self, kind, payload):
+        """In-memory memo key; digest-based so it works without a
+        cache_dir too."""
+        return (kind, self._digest(kind, payload))
+
+    def _cached(self, path, memo_key=None):
+        """Return the cached payload for *path*, or None.
+
+        Probes the in-memory memo first (repeated baseline lookups stop
+        re-reading and re-parsing JSON).  A corrupt or unreadable disk
+        entry is discarded -- the run is recomputed rather than crashing
+        the sweep.
+        """
+        if memo_key is not None:
+            hit = self._memo.get(memo_key)
+            if hit is not None:
+                return hit
+        if not path:
+            return None
+        try:
             with open(path) as handle:
-                return json.load(handle)
-        return None
+                data = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
+            # truncated/corrupt entry (e.g. a pre-v2 non-atomic write
+            # interrupted mid-dump): drop it and recompute
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        if memo_key is not None:
+            self._memo[memo_key] = data
+        return data
 
-    def _save(self, path, data):
-        if path:
-            with open(path, "w") as handle:
+    def _save(self, path, data, memo_key=None):
+        """Persist *data* atomically (temp file + ``os.replace``).
+
+        Safe under concurrent writers: each writes its own temp file and
+        the final rename is atomic on POSIX, so readers never observe a
+        partial entry.
+        """
+        if memo_key is not None:
+            self._memo[memo_key] = data
+        if not path:
+            return
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
                 json.dump(data, handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     # ------------------------------------------------------------------
+    # single-run primitives
+
+    def _resolve_request(self, request):
+        """Normalise a :class:`RunRequest`/tuple into concrete job args."""
+        if not isinstance(request, RunRequest):
+            request = RunRequest(*request)
+        benchmark, prefetcher, instructions, config, variant = request
+        if instructions is None:
+            instructions = scaled(DEFAULT_SINGLE_BUDGET)
+        config = config or SystemConfig(prefetcher=prefetcher)
+        if config.prefetcher != prefetcher:
+            raise ValueError("config.prefetcher disagrees with prefetcher arg")
+        return benchmark, prefetcher, instructions, config, variant
+
+    def _single_payload(self, benchmark, instructions, config, variant):
+        payload = [benchmark, instructions, list(config.key())]
+        if variant:
+            payload.append(variant)
+        return payload
 
     def run_single(self, benchmark, prefetcher="none", instructions=None,
                    config=None, variant=0):
@@ -79,22 +258,122 @@ class ExperimentRunner:
         *variant* selects a re-seeded instance of the workload (see
         :func:`~repro.workloads.build_workload`).
         """
-        if instructions is None:
-            instructions = scaled(DEFAULT_SINGLE_BUDGET)
-        config = config or SystemConfig(prefetcher=prefetcher)
-        if config.prefetcher != prefetcher:
-            raise ValueError("config.prefetcher disagrees with prefetcher arg")
-        payload = [benchmark, instructions, list(config.key())]
-        if variant:
-            payload.append(variant)
+        benchmark, prefetcher, instructions, config, variant = (
+            self._resolve_request(
+                RunRequest(benchmark, prefetcher, instructions, config,
+                           variant)
+            )
+        )
+        payload = self._single_payload(benchmark, instructions, config,
+                                       variant)
         path = self._cache_path("single", payload)
-        cached = self._cached(path)
+        memo_key = self._memo_key("single", payload)
+        cached = self._cached(path, memo_key)
         if cached is not None:
-            return RunResult(cached)
-        system = System(build_workload(benchmark, variant), config)
-        result = system.run(instructions)
-        self._save(path, result.as_dict())
-        return result
+            return RunResult(dict(cached))
+        data = _execute_single(benchmark, prefetcher, instructions, config,
+                               variant)
+        self._save(path, data, memo_key)
+        return RunResult(dict(data))
+
+    # ------------------------------------------------------------------
+    # parallel batch API
+
+    def run_many(self, requests, jobs=None):
+        """Run a batch of independent single-core jobs, in parallel.
+
+        :param requests: iterable of :class:`RunRequest` (or tuples with
+            the same field order).
+        :param jobs: worker processes; defaults to the runner's ``jobs``,
+            then ``REPRO_JOBS``, then ``os.cpu_count()``.
+        :returns: list of :class:`~repro.sim.RunResult` in *request
+            order* -- scheduling is cache-aware (hits are served from the
+            memo/disk without touching the pool; duplicate requests are
+            simulated once) but the output ordering is deterministic and
+            byte-identical to running each request serially.
+        """
+        resolved = [self._resolve_request(request) for request in requests]
+        results = [None] * len(resolved)
+
+        # cache probe pass: serve hits, group misses by identity
+        miss_groups = {}  # memo_key -> (job args, path, [indices])
+        for index, job in enumerate(resolved):
+            benchmark, prefetcher, instructions, config, variant = job
+            payload = self._single_payload(benchmark, instructions, config,
+                                           variant)
+            path = self._cache_path("single", payload)
+            memo_key = self._memo_key("single", payload)
+            cached = self._cached(path, memo_key)
+            if cached is not None:
+                results[index] = RunResult(dict(cached))
+                continue
+            group = miss_groups.get(memo_key)
+            if group is None:
+                miss_groups[memo_key] = (job, path, [index])
+            else:
+                group[2].append(index)
+
+        if not miss_groups:
+            return results
+
+        if jobs is None:
+            jobs = self.jobs
+        if jobs is None:
+            jobs = default_jobs()
+        jobs = max(1, min(int(jobs), len(miss_groups)))
+
+        ordered = list(miss_groups.items())
+        if jobs == 1 or len(ordered) == 1:
+            computed = [_execute_single(*job) for _, (job, _, _) in ordered]
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(_execute_single, *job)
+                    for _, (job, _, _) in ordered
+                ]
+                computed = [future.result() for future in futures]
+
+        for (memo_key, (job, path, indices)), data in zip(ordered, computed):
+            self._save(path, data, memo_key)
+            for index in indices:
+                results[index] = RunResult(dict(data))
+        return results
+
+    def sweep(self, benchmarks, prefetchers, instructions=None, config_for=None,
+              base_config=None, jobs=None):
+        """Cross-product sweep with the shared no-prefetch baseline.
+
+        Runs ``benchmarks x (prefetchers + baseline)`` through
+        :meth:`run_many` and returns ``(baselines, table)`` where
+        *baselines* maps benchmark -> baseline :class:`RunResult` and
+        *table* maps benchmark -> {prefetcher: RunResult}.
+
+        :param config_for: optional ``fn(prefetcher) -> SystemConfig``.
+        :param base_config: optional baseline config (must keep
+            ``prefetcher="none"``).
+        """
+        requests = []
+        for bench in benchmarks:
+            requests.append(
+                RunRequest(bench, "none", instructions, base_config)
+            )
+            for prefetcher in prefetchers:
+                config = config_for(prefetcher) if config_for else None
+                requests.append(
+                    RunRequest(bench, prefetcher, instructions, config)
+                )
+        results = iter(self.run_many(requests, jobs=jobs))
+        baselines = {}
+        table = {}
+        for bench in benchmarks:
+            baselines[bench] = next(results)
+            table[bench] = {
+                prefetcher: next(results) for prefetcher in prefetchers
+            }
+        return baselines, table
+
+    # ------------------------------------------------------------------
+    # mixes
 
     def run_mix(self, mix, prefetcher="none", instructions=None, config=None):
         """Run a multiprogrammed mix; returns per-core RunResults."""
@@ -103,12 +382,13 @@ class ExperimentRunner:
         config = config or SystemConfig(prefetcher=prefetcher)
         payload = [list(mix), instructions, list(config.key())]
         path = self._cache_path("mix", payload)
-        cached = self._cached(path)
+        memo_key = self._memo_key("mix", payload)
+        cached = self._cached(path, memo_key)
         if cached is not None:
-            return [RunResult(entry) for entry in cached]
+            return [RunResult(dict(entry)) for entry in cached]
         cmp_system = CMPSystem([build_workload(name) for name in mix], config)
         results = cmp_system.run(instructions)
-        self._save(path, [result.as_dict() for result in results])
+        self._save(path, [result.as_dict() for result in results], memo_key)
         return results
 
     # ------------------------------------------------------------------
@@ -128,8 +408,11 @@ class ExperimentRunner:
         """Paper Figs. 9/10 metric: weighted speedup of the mix under
         *prefetcher*, normalised to the same mix without prefetching."""
         singles = [
-            self.run_single(name, "none", single_instructions).ipc
-            for name in mix
+            result.ipc
+            for result in self.run_many(
+                [RunRequest(name, "none", single_instructions)
+                 for name in mix]
+            )
         ]
         base = self.run_mix(mix, "none", instructions, base_config)
         run = self.run_mix(mix, prefetcher, instructions, config)
@@ -139,7 +422,11 @@ class ExperimentRunner:
 
     def foa_map(self, benchmarks, instructions=None):
         """Solo-run FOA (LLC accesses / cycle) for mix selection."""
+        benchmarks = list(benchmarks)
+        results = self.run_many(
+            [RunRequest(name, "none", instructions) for name in benchmarks]
+        )
         return {
-            name: foa_from_result(self.run_single(name, "none", instructions))
-            for name in benchmarks
+            name: foa_from_result(result)
+            for name, result in zip(benchmarks, results)
         }

@@ -1,0 +1,180 @@
+"""Differential test: decoded dispatch-table step vs the reference if-chain.
+
+The interpreter pre-decodes each static instruction into dispatch metadata
+(:func:`repro.cpu.functional.decode_program`); :meth:`Machine.step_reference`
+keeps the original field-re-deriving if-chain.  The two must produce
+bit-identical architectural streams -- registers, memory, branch outcomes
+and effective addresses -- on programs covering every opcode.
+"""
+
+import pytest
+
+from repro.cpu.functional import (
+    HaltError,
+    K_LOAD_NODEST,
+    K_NOP,
+    Machine,
+    decode_instr,
+    decode_program,
+)
+from repro.isa import ZERO_REG, assemble
+from repro.isa.opcodes import Op
+from repro.workloads.spec import BENCHMARKS, build_workload
+
+# exercises all 25 executable opcodes plus restart-on-halt, signed
+# compares/branches, zero-register semantics, shifts and indirect jumps
+MIXED_PROGRAM = """
+start:
+    li r1, 0x1000
+    li r2, 7
+    li r3, -3
+    addi r4, r1, 64
+    subi r5, r2, 9
+    add r6, r2, r3
+    sub r7, r2, r3
+    mul r8, r2, r2
+    xor r9, r2, r3
+    and r10, r2, r7
+    or r11, r2, r3
+    andi r12, r11, 0xFF
+    sll r13, r2, r2
+    srl r14, r13, r2
+    slli r15, r2, 3
+    srli r16, r15, 1
+    cmpeq r17, r2, r2
+    cmplt r18, r3, r2
+    mov r19, r8
+    li r31, 99
+    add r20, r31, r2
+    load r31, 0(r1)
+    nop
+    store r2, 8(r1)
+    load r21, 8(r1)
+    store r8, 16(r1)
+    load r22, 16(r1)
+    bltz r3, neg_path
+    li r23, 111
+neg_path:
+    bgez r2, pos_path
+    li r23, 222
+pos_path:
+    beqz r5, skip1
+    addi r24, r24, 1
+skip1:
+    bnez r5, skip2
+    addi r24, r24, 100
+skip2:
+    li r25, 4
+loop:
+    subi r25, r25, 1
+    store r25, 24(r1)
+    load r26, 24(r1)
+    bnez r25, loop
+    br over
+    li r27, 333
+over:
+    addi r28, r28, 12
+    addi r30, r30, 1
+    cmplt r17, r30, r2
+    beqz r17, done
+    li r29, 0x1000
+    jr r29
+done:
+    halt
+"""
+
+
+def lockstep(text, steps, restart=True):
+    program_a = assemble(text)
+    program_b = assemble(text)
+    fast = Machine(program_a, {}, restart_on_halt=restart)
+    ref = Machine(program_b, {}, restart_on_halt=restart)
+    for _ in range(steps):
+        try:
+            instr_f, taken_f, ea_f = fast.step()
+        except HaltError:
+            with pytest.raises(HaltError):
+                ref.step_reference()
+            break
+        instr_r, taken_r, ea_r = ref.step_reference()
+        assert (instr_f.index, taken_f, ea_f) == (instr_r.index, taken_r, ea_r)
+        assert fast.regs == ref.regs
+        assert fast.index == ref.index
+    assert fast.memory == ref.memory
+    assert fast.instret == ref.instret
+    assert fast.restarts == ref.restarts
+    return fast, ref
+
+
+def test_mixed_program_lockstep_equivalence():
+    # several full restarts of the mixed-opcode kernel
+    lockstep(MIXED_PROGRAM, 500)
+
+
+def test_mixed_program_covers_every_executable_opcode():
+    program = assemble(MIXED_PROGRAM)
+    used = {instr.op for instr in program.instrs}
+    assert used == set(Op), "MIXED_PROGRAM must cover the full opcode space"
+
+
+def test_halt_equivalence_without_restart():
+    fast, ref = lockstep("addi r1, r1, 5\nhalt", steps=10, restart=False)
+    assert fast.halted and ref.halted
+
+
+@pytest.mark.parametrize("bench", sorted(BENCHMARKS)[:4])
+def test_workload_stream_equivalence(bench):
+    wl_a = build_workload(bench)
+    wl_b = build_workload(bench)
+    fast = Machine(wl_a.program, dict(wl_a.memory))
+    ref = Machine(wl_b.program, dict(wl_b.memory))
+    stream_fast = [
+        (i.index, taken, ea) for i, taken, ea in
+        (fast.step() for _ in range(20_000))
+    ]
+    stream_ref = [
+        (i.index, taken, ea) for i, taken, ea in
+        (ref.step_reference() for _ in range(20_000))
+    ]
+    assert stream_fast == stream_ref
+    assert fast.regs == ref.regs
+    assert fast.memory == ref.memory
+
+
+# ----------------------------------------------------------------------
+# decode metadata
+
+
+def test_decode_folds_zero_register_writes():
+    program = assemble("li r31, 42\nload r31, 0(r1)\nadd r1, r2, r3\nhalt")
+    decoded = decode_program(program)
+    assert decoded[0][0] == K_NOP  # li r31 is an architectural no-op
+    assert decoded[1][0] == K_LOAD_NODEST  # keeps the ea side channel
+    assert decoded[2][0] != K_NOP
+
+
+def test_decode_program_is_cached_on_the_program():
+    program = assemble("nop\nhalt")
+    first = decode_program(program)
+    assert decode_program(program) is first
+    assert Machine(program)._decoded is first
+
+
+def test_decode_instr_fields_are_plain_ints():
+    program = assemble(MIXED_PROGRAM)
+    for instr in program.instrs:
+        row = decode_instr(instr)
+        assert len(row) == 6
+        assert all(isinstance(field, int) for field in row)
+
+
+def test_load_to_zero_register_still_reports_ea():
+    machine = Machine(
+        assemble("li r1, 0x2000\nload r31, 8(r1)\nhalt"),
+        {},
+        restart_on_halt=False,
+    )
+    machine.step()
+    _instr, _taken, ea = machine.step()
+    assert ea == 0x2008
+    assert machine.regs[ZERO_REG] == 0

@@ -1,0 +1,147 @@
+"""Parallel batch API: determinism, cache-aware scheduling, key identity."""
+
+import itertools
+
+import pytest
+
+from repro.sim import ExperimentRunner, RunRequest, SystemConfig
+from repro.sim.runner import default_jobs
+
+BENCHES = ("gamess", "libquantum", "mcf")
+BUDGET = 4_000
+
+
+def _requests(benches=BENCHES, prefetchers=("none", "stride")):
+    return [
+        RunRequest(bench, prefetcher, BUDGET)
+        for bench in benches
+        for prefetcher in prefetchers
+    ]
+
+
+def test_run_many_matches_serial_byte_identical(tmp_path):
+    serial = ExperimentRunner()
+    expected = [
+        serial.run_single(r.benchmark, r.prefetcher, r.instructions)
+        for r in _requests()
+    ]
+    parallel = ExperimentRunner(cache_dir=str(tmp_path / "cache"))
+    got = parallel.run_many(_requests(), jobs=4)
+    assert [r.as_dict() for r in got] == [r.as_dict() for r in expected]
+
+
+def test_run_many_without_cache_dir(tmp_path):
+    runner = ExperimentRunner()  # no disk cache at all
+    results = runner.run_many(_requests(benches=("gamess",)), jobs=2)
+    assert [r.prefetcher for r in results] == ["none", "stride"]
+    assert all(r.instructions == BUDGET for r in results)
+
+
+def test_run_many_serial_path_equivalent(tmp_path):
+    a = ExperimentRunner(cache_dir=str(tmp_path / "a"))
+    b = ExperimentRunner(cache_dir=str(tmp_path / "b"))
+    jobs1 = a.run_many(_requests(), jobs=1)
+    jobs4 = b.run_many(_requests(), jobs=4)
+    assert [r.as_dict() for r in jobs1] == [r.as_dict() for r in jobs4]
+
+
+def test_run_many_respects_repro_jobs_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    assert default_jobs() == 2
+    runner = ExperimentRunner(cache_dir=str(tmp_path))
+    results = runner.run_many(_requests(benches=("gamess",)))
+    assert len(results) == 2
+    monkeypatch.setenv("REPRO_JOBS", "two")
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
+        default_jobs()
+
+
+def test_run_many_deduplicates_identical_requests():
+    runner = ExperimentRunner()
+    request = RunRequest("gamess", "none", BUDGET)
+    results = runner.run_many([request, request, request], jobs=1)
+    dicts = [r.as_dict() for r in results]
+    assert dicts[0] == dicts[1] == dicts[2]
+    # each caller gets an isolated copy, not a shared alias
+    results[0].data["ipc"] = -1.0
+    assert results[1].ipc != -1.0
+
+
+def test_run_many_served_from_warm_cache_without_pool(tmp_path, monkeypatch):
+    runner = ExperimentRunner(cache_dir=str(tmp_path))
+    first = runner.run_many(_requests(), jobs=1)
+    # poison the execution path: any recompute would now blow up
+    import repro.sim.runner as runner_mod
+
+    def _boom(*args, **kwargs):
+        raise AssertionError("cache-aware scheduling dispatched a hit")
+
+    monkeypatch.setattr(runner_mod, "_execute_single", _boom)
+    warm = ExperimentRunner(cache_dir=str(tmp_path))
+    second = warm.run_many(_requests(), jobs=4)
+    assert [r.as_dict() for r in second] == [r.as_dict() for r in first]
+
+
+def test_sweep_shape_and_baseline_sharing(tmp_path):
+    runner = ExperimentRunner(cache_dir=str(tmp_path))
+    baselines, table = runner.sweep(
+        ("gamess", "libquantum"), ("stride",), instructions=BUDGET, jobs=2
+    )
+    assert set(baselines) == {"gamess", "libquantum"}
+    assert set(table["gamess"]) == {"stride"}
+    for bench in baselines:
+        assert baselines[bench].prefetcher == "none"
+        assert table[bench]["stride"].workload == bench
+
+
+# ----------------------------------------------------------------------
+# cache-key identity
+
+
+def test_config_key_round_trips():
+    config = SystemConfig(prefetcher="bfetch", width=2, bp_scale=0.5)
+    assert config.key() == config.key()
+    rebuilt = SystemConfig(prefetcher="bfetch", width=2, bp_scale=0.5)
+    assert rebuilt.key() == config.key()
+
+
+def test_distinct_configs_never_collide():
+    variants = [
+        SystemConfig(),
+        SystemConfig(width=2),
+        SystemConfig(rob_entries=96),
+        SystemConfig(bp_scale=0.5),
+        SystemConfig(prefetcher="stride"),
+        SystemConfig(prefetcher="stride", stride_degree=4),
+        SystemConfig(prefetcher="nextn", nextn_degree=8),
+        SystemConfig(branch_predictor="perceptron"),
+    ]
+    keys = [v.key() for v in variants]
+    for (i, a), (j, b) in itertools.combinations(enumerate(keys), 2):
+        assert a != b, "configs %d and %d collide" % (i, j)
+
+
+def test_distinct_bfetch_configs_never_collide():
+    from repro.core.config import BFetchConfig
+
+    variants = [
+        SystemConfig(prefetcher="bfetch"),
+        SystemConfig(prefetcher="bfetch",
+                     bfetch=BFetchConfig(brtc_entries=128)),
+        SystemConfig(prefetcher="bfetch",
+                     bfetch=BFetchConfig(path_confidence_threshold=0.5)),
+        SystemConfig(prefetcher="bfetch", bfetch=BFetchConfig(use_filter=False)),
+        SystemConfig(prefetcher="bfetch",
+                     bfetch=BFetchConfig(instruction_prefetch=True)),
+    ]
+    keys = [v.key() for v in variants]
+    assert len(set(keys)) == len(keys)
+
+
+def test_cache_key_includes_variant():
+    runner = ExperimentRunner(cache_dir=None)
+    base = runner._single_payload("gamess", 5000, SystemConfig(), 0)
+    variant = runner._single_payload("gamess", 5000, SystemConfig(), 3)
+    assert runner._memo_key("single", base) != runner._memo_key(
+        "single", variant
+    )

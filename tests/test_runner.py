@@ -1,11 +1,21 @@
 """Experiment runner and result cache."""
 
+import json
 import os
 
 import pytest
 
 from repro.sim import ExperimentRunner
 from repro.sim.runner import scaled
+
+
+def cache_files(cache_dir):
+    """All cached result files in the sharded cache layout."""
+    found = []
+    for root, _dirs, files in os.walk(str(cache_dir)):
+        found.extend(os.path.join(root, name) for name in files
+                     if name.endswith(".json"))
+    return found
 
 
 def test_scaled_respects_env(monkeypatch):
@@ -22,12 +32,32 @@ def test_scaled_floor(monkeypatch):
     assert scaled(100_000) == 1000
 
 
+def test_scaled_rejects_non_numeric(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "fast")
+    with pytest.raises(ValueError, match="REPRO_SCALE"):
+        scaled(100_000)
+
+
 def test_run_single_cached_on_disk(tmp_path):
     runner = ExperimentRunner(cache_dir=str(tmp_path))
     first = runner.run_single("gamess", "none", instructions=5_000)
-    files = os.listdir(tmp_path)
+    files = cache_files(tmp_path)
     assert len(files) == 1
+    # sharded layout: <cache_dir>/<kind>/<digest prefix>/<file>
+    relative = os.path.relpath(files[0], str(tmp_path))
+    parts = relative.split(os.sep)
+    assert parts[0] == "single" and len(parts) == 3
     second = runner.run_single("gamess", "none", instructions=5_000)
+    assert second.as_dict() == first.as_dict()
+
+
+def test_run_single_disk_cache_survives_new_runner(tmp_path):
+    first = ExperimentRunner(cache_dir=str(tmp_path)).run_single(
+        "gamess", "none", instructions=5_000
+    )
+    second = ExperimentRunner(cache_dir=str(tmp_path)).run_single(
+        "gamess", "none", instructions=5_000
+    )
     assert second.as_dict() == first.as_dict()
 
 
@@ -35,7 +65,48 @@ def test_cache_distinguishes_configs(tmp_path):
     runner = ExperimentRunner(cache_dir=str(tmp_path))
     runner.run_single("gamess", "none", instructions=5_000)
     runner.run_single("gamess", "stride", instructions=5_000)
-    assert len(os.listdir(tmp_path)) == 2
+    assert len(cache_files(tmp_path)) == 2
+
+
+def test_corrupt_cache_entry_is_discarded_and_recomputed(tmp_path):
+    runner = ExperimentRunner(cache_dir=str(tmp_path))
+    first = runner.run_single("gamess", "none", instructions=5_000)
+    (path,) = cache_files(tmp_path)
+    with open(path, "w") as handle:
+        handle.write('{"workload": "gam')  # truncated write
+    fresh = ExperimentRunner(cache_dir=str(tmp_path))
+    recomputed = fresh.run_single("gamess", "none", instructions=5_000)
+    assert recomputed.as_dict() == first.as_dict()
+    # the corrupt entry was replaced by a valid one
+    (path,) = cache_files(tmp_path)
+    with open(path) as handle:
+        assert json.load(handle) == first.as_dict()
+
+
+def test_cache_writes_leave_no_temp_files(tmp_path):
+    runner = ExperimentRunner(cache_dir=str(tmp_path))
+    runner.run_single("gamess", "none", instructions=5_000)
+    runner.run_mix(("gamess", "gamess"), instructions=4_000)
+    for root, _dirs, files in os.walk(str(tmp_path)):
+        for name in files:
+            assert name.endswith(".json") and not name.startswith(".tmp")
+
+
+def test_memo_serves_repeat_lookups_without_disk(tmp_path):
+    runner = ExperimentRunner(cache_dir=str(tmp_path))
+    first = runner.run_single("gamess", "none", instructions=5_000)
+    for path in cache_files(tmp_path):
+        os.unlink(path)  # disk gone; the in-memory memo must serve it
+    second = runner.run_single("gamess", "none", instructions=5_000)
+    assert second.as_dict() == first.as_dict()
+
+
+def test_memo_results_are_isolated_copies():
+    runner = ExperimentRunner()
+    first = runner.run_single("gamess", "none", instructions=5_000)
+    first.data["ipc"] = -1.0  # mutate the caller's copy
+    second = runner.run_single("gamess", "none", instructions=5_000)
+    assert second.ipc != -1.0
 
 
 def test_config_prefetcher_mismatch_rejected():
