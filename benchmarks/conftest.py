@@ -7,6 +7,13 @@ force recomputation); rendered tables are printed and archived under
 (e.g. ``REPRO_SCALE=0.25 pytest benchmarks/``) and ``REPRO_JOBS`` to fan
 cold sweeps out over worker processes (results are byte-identical to
 serial; see DESIGN.md "Performance & parallelism").
+
+The engine is fault tolerant: every finished run is checkpointed to
+``benchmarks/.cache`` the moment it completes, so an interrupted or
+crashed sweep resumes where it stopped on the next invocation, and
+failed or hung workers are retried per ``REPRO_RETRIES`` /
+``REPRO_TASK_TIMEOUT`` / ``REPRO_ON_ERROR`` (DESIGN.md "Failure model &
+recovery").
 """
 
 import os

@@ -34,6 +34,10 @@ def test_sweep_smoke_serial_parallel_identical():
     assert sweep["runs"] == 4
     assert sweep["results_identical"] is True
     assert sweep["serial_seconds"] > 0 and sweep["parallel_seconds"] > 0
+    # the parallel pass records its BatchReport (clean run: all misses)
+    report = sweep["batch_report"]
+    assert report["total"] == 4 and report["misses"] == 4
+    assert report["failures"] == []
 
 
 def test_cli_bench_perf_writes_json(tmp_path, capsys):

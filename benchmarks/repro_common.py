@@ -6,24 +6,32 @@ from repro.workloads import BENCHMARKS, PREFETCH_SENSITIVE
 
 
 def single_speedups(runner, prefetchers, budget, config_for=None,
-                    base_config=None, jobs=None):
+                    base_config=None, jobs=None, policy=None):
     """Per-benchmark speedups vs the no-prefetch baseline.
 
     The whole benchmark x prefetcher grid goes through the runner's
     parallel :meth:`~repro.sim.ExperimentRunner.sweep` batch API: cache
     hits are served directly and only the misses are fanned out over the
     process pool (``REPRO_JOBS`` / *jobs*), with output identical to the
-    serial path.
+    serial path.  The engine is fault tolerant: each finished run is
+    persisted immediately, so interrupting a sweep and re-running it
+    resumes from ``benchmarks/.cache``, and failed or hung workers are
+    retried per the :class:`~repro.resilience.FailurePolicy`
+    (``REPRO_RETRIES`` / ``REPRO_TASK_TIMEOUT`` / ``REPRO_ON_ERROR`` or
+    *policy*).
 
     :param config_for: optional ``fn(prefetcher) -> SystemConfig``.
     :param base_config: optional baseline SystemConfig (must keep
         ``prefetcher="none"``), for sweeps that change the machine itself.
+    :param policy: optional :class:`~repro.resilience.FailurePolicy`
+        override for this sweep.
     :returns: rows ``[(bench, {pf: speedup})]`` ready for rendering.
     """
     instructions = scaled(budget)
     baselines, table = runner.sweep(
         BENCHMARKS, prefetchers, instructions,
         config_for=config_for, base_config=base_config, jobs=jobs,
+        policy=policy,
     )
     rows = []
     for bench in BENCHMARKS:

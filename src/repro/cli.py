@@ -13,12 +13,21 @@ Commands
 Parallelism: ``--jobs N`` (or the ``REPRO_JOBS`` environment variable)
 fans independent runs out over a process pool; results are byte-identical
 to serial execution.
+
+Robustness: ``--retries N``, ``--task-timeout S`` and
+``--on-error {raise,skip,serial}`` (or ``REPRO_RETRIES`` /
+``REPRO_TASK_TIMEOUT`` / ``REPRO_ON_ERROR``) configure the
+:class:`~repro.resilience.FailurePolicy` -- failed or hung jobs are
+retried with deterministic backoff, a broken worker pool is rebuilt, and
+each batch's :class:`~repro.resilience.BatchReport` is printed to stderr
+whenever anything beyond plain cache hits/misses happened.
 """
 
 import argparse
 import sys
 
 from repro.analysis import overhead_table, render_table
+from repro.resilience import ON_ERROR_MODES, FailurePolicy
 from repro.sim import CMPSystem, ExperimentRunner, RunRequest, SystemConfig
 from repro.sim.config import PREFETCHER_NAMES
 from repro.sim.metrics import weighted_speedup
@@ -34,11 +43,45 @@ def _add_common(parser):
     parser.add_argument("-j", "--jobs", type=int, default=None,
                         help="worker processes for independent runs "
                              "(default: REPRO_JOBS or cpu count)")
+    _add_resilience(parser)
+
+
+def _add_resilience(parser):
+    parser.add_argument("--retries", type=int, default=None,
+                        help="retry budget per failed/hung job "
+                             "(default: REPRO_RETRIES or 2)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-task timeout in seconds before a job is "
+                             "declared hung and retried "
+                             "(default: REPRO_TASK_TIMEOUT or none)")
+    parser.add_argument("--on-error", choices=ON_ERROR_MODES, default=None,
+                        help="what to do with a job that exhausts its "
+                             "retries: raise a structured error, skip it, "
+                             "or run it serially in-process "
+                             "(default: REPRO_ON_ERROR or raise)")
+
+
+def _make_policy(args):
+    return FailurePolicy.from_env(
+        retries=getattr(args, "retries", None),
+        task_timeout=getattr(args, "task_timeout", None),
+        on_error=getattr(args, "on_error", None),
+    )
 
 
 def _make_runner(args):
     return ExperimentRunner(cache_dir=args.cache_dir,
-                            jobs=getattr(args, "jobs", None))
+                            jobs=getattr(args, "jobs", None),
+                            policy=_make_policy(args))
+
+
+def _report_batch(runner):
+    """Surface the last BatchReport on stderr when it was eventful."""
+    report = runner.last_report
+    if report is not None and report.eventful:
+        print("[resilience] " + report.summary(), file=sys.stderr)
+        for failure in report.failures:
+            print("[resilience] " + failure.describe(), file=sys.stderr)
 
 
 def cmd_run(args):
@@ -57,9 +100,18 @@ def cmd_compare(args):
         + [RunRequest(args.benchmark, prefetcher, args.instructions)
            for prefetcher in args.prefetchers]
     )
+    _report_batch(runner)
     base, results = batch[0], batch[1:]
+    if base is None:
+        print("error: baseline run failed (skipped under --on-error=skip)",
+              file=sys.stderr)
+        return 1
     rows = []
+    failed = []
     for prefetcher, result in zip(args.prefetchers, results):
+        if result is None:  # skipped under --on-error=skip
+            failed.append(prefetcher)
+            continue
         rows.append((prefetcher, {
             "ipc": result.ipc,
             "speedup": result.ipc / base.ipc,
@@ -69,18 +121,25 @@ def cmd_compare(args):
     print(render_table("%s (%d instructions)"
                        % (args.benchmark, args.instructions),
                        rows, ["ipc", "speedup", "useful", "useless"]))
+    for prefetcher in failed:
+        print("note: %s run failed and was skipped" % prefetcher,
+              file=sys.stderr)
     return 0
 
 
 def cmd_mix(args):
     runner = _make_runner(args)
-    singles = [
-        result.ipc
-        for result in runner.run_many(
-            [RunRequest(name, "none", args.instructions)
-             for name in args.apps]
-        )
-    ]
+    singles_batch = runner.run_many(
+        [RunRequest(name, "none", args.instructions)
+         for name in args.apps]
+    )
+    _report_batch(runner)
+    if any(result is None for result in singles_batch):
+        print("error: a solo-IPC run failed (skipped under "
+              "--on-error=skip); cannot compute weighted speedups",
+              file=sys.stderr)
+        return 1
+    singles = [result.ipc for result in singles_batch]
     baseline = None
     rows = []
     for prefetcher in args.prefetchers:
@@ -128,6 +187,7 @@ def cmd_bench_perf(args):
         sweep_instructions=args.sweep_instructions,
         jobs=args.jobs if args.jobs is not None else 4,
         label=args.label,
+        policy=_make_policy(args),
     )
     print(render_summary(payload))
     if not args.no_write:
@@ -203,6 +263,7 @@ def build_parser():
                             "BENCH_<timestamp>.json)")
     bench.add_argument("--no-write", action="store_true",
                        help="print the summary without writing a file")
+    _add_resilience(bench)
     bench.set_defaults(func=cmd_bench_perf)
 
     lister = sub.add_parser("list", help="list benchmarks and prefetchers")

@@ -73,13 +73,19 @@ def bench_component(component, benchmark="libquantum", instructions=30_000):
 
 
 def bench_sweep(benchmarks, prefetchers=SWEEP_PREFETCHERS,
-                instructions=10_000, jobs=4):
+                instructions=10_000, jobs=4, policy=None):
     """Cold-cache sweep wall-clock: serial vs parallel ``run_many``.
 
     Both passes use fresh temporary cache directories, so each measures a
     complete cold evaluation of ``len(benchmarks) x len(prefetchers)``
-    runs.  Returns serial/parallel wall times, the speedup, and a
-    byte-identity flag comparing the two result sets.
+    runs.  Returns serial/parallel wall times, the speedup, a
+    byte-identity flag comparing the two result sets, and the parallel
+    pass's :class:`~repro.resilience.BatchReport` counters (so perf
+    trajectories taken on flaky hosts record how much retrying they
+    needed).
+
+    :param policy: optional :class:`~repro.resilience.FailurePolicy`
+        applied to both passes.
     """
     requests = [
         RunRequest(bench, prefetcher, instructions)
@@ -87,20 +93,23 @@ def bench_sweep(benchmarks, prefetchers=SWEEP_PREFETCHERS,
         for prefetcher in prefetchers
     ]
     with tempfile.TemporaryDirectory() as serial_dir:
-        serial_runner = ExperimentRunner(cache_dir=serial_dir)
+        serial_runner = ExperimentRunner(cache_dir=serial_dir, policy=policy)
         start = time.perf_counter()
         serial_results = serial_runner.run_many(requests, jobs=1)
         serial_seconds = time.perf_counter() - start
     with tempfile.TemporaryDirectory() as parallel_dir:
-        parallel_runner = ExperimentRunner(cache_dir=parallel_dir)
+        parallel_runner = ExperimentRunner(cache_dir=parallel_dir,
+                                           policy=policy)
         start = time.perf_counter()
         parallel_results = parallel_runner.run_many(requests, jobs=jobs)
         parallel_seconds = time.perf_counter() - start
     identical = [r.as_dict() for r in serial_results] == [
         r.as_dict() for r in parallel_results
     ]
+    report = parallel_runner.last_report
     return {
         "runs": len(requests),
+        "batch_report": report.as_dict() if report is not None else None,
         "benchmarks": list(benchmarks),
         "prefetchers": list(prefetchers),
         "instructions_per_run": instructions,
@@ -116,11 +125,13 @@ def bench_sweep(benchmarks, prefetchers=SWEEP_PREFETCHERS,
 
 def run_perf_suite(benchmark="libquantum", instructions=30_000,
                    sweep_benchmarks=None, sweep_instructions=10_000,
-                   jobs=4, label=None):
+                   jobs=4, label=None, policy=None):
     """Run the component timings (and optional sweep); returns the payload.
 
     :param sweep_benchmarks: iterable of benchmark names to include in the
         serial-vs-parallel sweep comparison; None/empty skips the sweep.
+    :param policy: optional :class:`~repro.resilience.FailurePolicy` for
+        the sweep passes (retries/timeouts on flaky hosts).
     """
     payload = {
         "schema": SCHEMA,
@@ -140,7 +151,8 @@ def run_perf_suite(benchmark="libquantum", instructions=30_000,
     }
     if sweep_benchmarks:
         payload["sweep"] = bench_sweep(
-            sweep_benchmarks, instructions=sweep_instructions, jobs=jobs
+            sweep_benchmarks, instructions=sweep_instructions, jobs=jobs,
+            policy=policy,
         )
     return payload
 

@@ -1,0 +1,56 @@
+"""Fault tolerance for the experiment engine.
+
+The sweep engine (:meth:`repro.sim.ExperimentRunner.run_many`) must
+survive worker failure the way a branch-predictor-directed frontend
+survives misprediction: recover and keep streaming.  This package holds
+the pieces:
+
+* :mod:`~repro.resilience.policy`  -- :class:`FailurePolicy` knobs
+  (retries, timeouts, degradation);
+* :mod:`~repro.resilience.retry`   -- deterministic exponential backoff;
+* :mod:`~repro.resilience.errors`  -- structured error taxonomy and the
+  per-batch :class:`BatchReport`;
+* :mod:`~repro.resilience.faults`  -- the ``REPRO_FAULTS`` deterministic
+  fault-injection harness used by the chaos tests.
+"""
+
+from repro.resilience.errors import (
+    BatchReport,
+    CacheCorruption,
+    SimulationError,
+    TaskTimeout,
+    WorkerCrash,
+)
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    get_fault_plan,
+    parse_faults,
+)
+from repro.resilience.policy import ON_ERROR_MODES, FailurePolicy
+from repro.resilience.retry import (
+    backoff_delay,
+    backoff_schedule,
+    call_with_retries,
+    jitter_fraction,
+)
+
+__all__ = [
+    "BatchReport",
+    "CacheCorruption",
+    "SimulationError",
+    "TaskTimeout",
+    "WorkerCrash",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "get_fault_plan",
+    "parse_faults",
+    "ON_ERROR_MODES",
+    "FailurePolicy",
+    "backoff_delay",
+    "backoff_schedule",
+    "call_with_retries",
+    "jitter_fraction",
+]

@@ -1,0 +1,214 @@
+"""Deterministic fault injection for the sweep engine (chaos harness).
+
+Activated by the ``REPRO_FAULTS`` environment variable, a comma-
+separated list of fault specs::
+
+    REPRO_FAULTS="crash:0.1:seed=7,hang:0.05:dur=1.5,corrupt-cache:0.1"
+
+Each spec is ``kind:probability[:opt=value...]``.  Supported kinds:
+
+* ``crash``          -- the worker process exits abruptly
+  (``os._exit``) mid-job, breaking the process pool; injected
+  in-process (serial paths) it raises :class:`InjectedCrash` instead,
+  since killing the caller would defeat the point;
+* ``hang``           -- the job sleeps ``dur`` seconds (default 5.0)
+  before completing normally, tripping the per-task timeout;
+* ``corrupt-cache``  -- the cache write for an entry is replaced by
+  truncated garbage, exercising the integrity-envelope read path.
+
+Options: ``seed=N`` (per-spec decision seed, default 0) and ``dur=F``
+(hang duration, seconds).
+
+Determinism contract -- what makes the chaos tests assert byte-identical
+recovery:
+
+* whether a fault fires for a given job is a pure function of
+  ``(seed, kind, task key)`` (SHA-1 threshold test), so the same sweep
+  under the same ``REPRO_FAULTS`` always injects the same faults;
+* ``crash``/``hang`` fire only on a job's *first* attempt, so a retried
+  job always converges;
+* ``corrupt-cache`` fires at most once per cache path per process, so a
+  detected-and-recomputed entry is rewritten clean.
+"""
+
+import hashlib
+import os
+import time
+
+FAULT_KINDS = ("crash", "hang", "corrupt-cache")
+
+ENV_FAULTS = "REPRO_FAULTS"
+
+# exit status used by injected worker crashes (visible in pool logs)
+CRASH_EXIT_CODE = 87
+
+_DEFAULT_HANG_SECONDS = 5.0
+
+# garbage written in place of a real entry by ``corrupt-cache``
+CORRUPT_PAYLOAD = '{"v": 2, "sha": "deadbeef", "data": {"trunca'
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by an in-process ``crash`` fault (serial execution paths)."""
+
+
+class FaultSpec(object):
+    """One parsed fault: kind, probability, seed, optional duration."""
+
+    __slots__ = ("kind", "prob", "seed", "dur")
+
+    def __init__(self, kind, prob, seed=0, dur=None):
+        if kind not in FAULT_KINDS:
+            raise ValueError("unknown fault kind %r (choose from %s)"
+                             % (kind, ", ".join(FAULT_KINDS)))
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError("fault probability must be in [0, 1], got %r"
+                             % (prob,))
+        self.kind = kind
+        self.prob = prob
+        self.seed = seed
+        self.dur = dur
+
+    def __repr__(self):
+        return ("FaultSpec(kind=%r, prob=%r, seed=%r, dur=%r)"
+                % (self.kind, self.prob, self.seed, self.dur))
+
+
+def parse_faults(text):
+    """Parse a ``REPRO_FAULTS`` string into ``{kind: FaultSpec}``.
+
+    Raises :class:`ValueError` on malformed specs, unknown kinds,
+    out-of-range probabilities or duplicate kinds.
+    """
+    specs = {}
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) < 2:
+            raise ValueError(
+                "malformed fault spec %r (expected kind:prob[:opt=val...])"
+                % (chunk,)
+            )
+        kind = parts[0].strip()
+        try:
+            prob = float(parts[1])
+        except ValueError:
+            raise ValueError("fault probability in %r must be a number"
+                             % (chunk,))
+        options = {}
+        for option in parts[2:]:
+            if "=" not in option:
+                raise ValueError("malformed fault option %r in %r "
+                                 "(expected name=value)" % (option, chunk))
+            name, _, value = option.partition("=")
+            name = name.strip()
+            if name == "seed":
+                options["seed"] = int(value)
+            elif name == "dur":
+                options["dur"] = float(value)
+            else:
+                raise ValueError("unknown fault option %r in %r "
+                                 "(supported: seed, dur)" % (name, chunk))
+        if kind in specs:
+            raise ValueError("duplicate fault kind %r" % (kind,))
+        specs[kind] = FaultSpec(kind, prob, **options)
+    return specs
+
+
+class FaultPlan(object):
+    """Deterministic decisions for one parsed ``REPRO_FAULTS`` value.
+
+    Holds the once-per-key memory for ``corrupt-cache``; reuse the
+    process-level singleton from :func:`get_fault_plan` so the memory
+    survives across runner instances.
+    """
+
+    def __init__(self, specs=None):
+        self.specs = dict(specs or {})
+        self._corrupted = set()
+
+    @property
+    def active(self):
+        return bool(self.specs)
+
+    def _fires(self, kind, key):
+        spec = self.specs.get(kind)
+        if spec is None or spec.prob <= 0.0:
+            return False
+        if spec.prob >= 1.0:
+            return True
+        digest = hashlib.sha1(
+            ("%s|%s|%s" % (spec.seed, kind, key)).encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") < spec.prob * (1 << 64)
+
+    # -- decision points -------------------------------------------------
+
+    def should_crash(self, key, attempt=0):
+        """Crash faults fire only on a job's first attempt."""
+        return attempt == 0 and self._fires("crash", key)
+
+    def should_hang(self, key, attempt=0):
+        return attempt == 0 and self._fires("hang", key)
+
+    def hang_seconds(self):
+        spec = self.specs.get("hang")
+        if spec is None:
+            return 0.0
+        return spec.dur if spec.dur is not None else _DEFAULT_HANG_SECONDS
+
+    def corrupt_payload(self, key):
+        """Garbage to write instead of the real entry, or ``None``.
+
+        Fires at most once per *key* per plan (i.e. per process), so the
+        recomputed entry is persisted intact.
+        """
+        if key in self._corrupted or not self._fires("corrupt-cache", key):
+            return None
+        self._corrupted.add(key)
+        return CORRUPT_PAYLOAD
+
+    # -- injection actions ----------------------------------------------
+
+    def inject_execution_faults(self, key, attempt=0):
+        """Run crash/hang injections for a job about to execute.
+
+        In a pool worker a ``crash`` is a hard ``os._exit`` (the parent
+        observes ``BrokenProcessPool``); in the parent process it raises
+        :class:`InjectedCrash` so serial paths see a normal exception.
+        """
+        if self.should_hang(key, attempt):
+            time.sleep(self.hang_seconds())
+        if self.should_crash(key, attempt):
+            if _in_worker_process():
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedCrash(
+                "injected crash fault for task %r (attempt %d)"
+                % (key, attempt)
+            )
+
+
+def _in_worker_process():
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+# (raw REPRO_FAULTS string, FaultPlan) -- module-level so the
+# corrupt-cache once-per-key memory survives across ExperimentRunner
+# instances; re-parsed whenever the raw value changes (monkeypatched
+# environments keep working).
+_plan_cache = (None, FaultPlan())
+
+
+def get_fault_plan():
+    """The process-level :class:`FaultPlan` for the current environment."""
+    global _plan_cache
+    raw = os.environ.get(ENV_FAULTS)
+    cached_raw, plan = _plan_cache
+    if raw != cached_raw:
+        plan = FaultPlan(parse_faults(raw) if raw else {})
+        _plan_cache = (raw, plan)
+    return plan

@@ -1,0 +1,81 @@
+"""Deterministic retry schedules: exponential backoff + seeded jitter.
+
+The jitter is *deterministic*: it is derived from
+``(policy.seed, task key, attempt)`` through SHA-1, so a given policy
+always produces the same backoff schedule for the same task -- the
+chaos tests assert this, and it keeps faulty sweeps reproducible while
+still de-synchronising retries across different tasks (two tasks that
+fail at the same instant back off by different amounts).
+"""
+
+import hashlib
+import time
+
+from repro.resilience.errors import SimulationError
+
+
+def jitter_fraction(seed, key, attempt):
+    """Deterministic uniform-ish fraction in ``[0, 1)``."""
+    digest = hashlib.sha1(
+        ("%s|%s|%d" % (seed, key, attempt)).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def backoff_delay(policy, key, attempt):
+    """Delay (seconds) before retry number *attempt* (0-based) of *key*.
+
+    ``base * factor**attempt`` capped at ``backoff_max``, plus a
+    deterministic jitter of up to ``policy.jitter`` times the capped
+    delay.
+    """
+    base = min(policy.backoff_base * (policy.backoff_factor ** attempt),
+               policy.backoff_max)
+    return base * (1.0 + policy.jitter
+                   * jitter_fraction(policy.seed, key, attempt))
+
+
+def backoff_schedule(policy, key, retries=None):
+    """The full delay schedule a task would follow under *policy*."""
+    if retries is None:
+        retries = policy.retries
+    return [backoff_delay(policy, key, attempt)
+            for attempt in range(retries)]
+
+
+def call_with_retries(fn, key, policy, on_retry=None, sleep=time.sleep,
+                      start_attempt=0):
+    """Call ``fn(attempt)`` with the policy's retry budget.
+
+    Retries on any :class:`Exception` (``KeyboardInterrupt`` and other
+    ``BaseException`` subclasses propagate immediately).  Between
+    attempts, sleeps the deterministic backoff delay.
+
+    :param fn: callable taking the 0-based attempt number.
+    :param on_retry: optional callback ``on_retry(exc, attempt)`` invoked
+        before each retry (used for :class:`BatchReport` accounting).
+    :param start_attempt: first attempt number (continues the schedule
+        of a task that already failed elsewhere, e.g. in the pool).
+    :returns: ``(result, attempts_made)``.
+    :raises SimulationError: wrapping the final exception once the
+        budget is exhausted.
+    """
+    attempt = start_attempt
+    while True:
+        try:
+            return fn(attempt), attempt - start_attempt + 1
+        except Exception as exc:
+            if attempt >= start_attempt + policy.retries:
+                if isinstance(exc, SimulationError):
+                    raise
+                raise SimulationError(
+                    "task %r failed after %d attempt(s): %s"
+                    % (key, attempt + 1, exc),
+                    attempts=attempt + 1,
+                ) from exc
+            if on_retry is not None:
+                on_retry(exc, attempt)
+            delay = backoff_delay(policy, key, attempt)
+            if delay > 0:
+                sleep(delay)
+            attempt += 1

@@ -1,4 +1,4 @@
-"""Experiment runner: JSON result cache + parallel batch execution.
+"""Experiment runner: JSON result cache + fault-tolerant parallel batches.
 
 Every table/figure reproduction is a composition of four primitives:
 
@@ -13,26 +13,60 @@ Results are memoised on disk keyed by (cache version, workload, budget,
 full config identity) and in a per-process memory memo, so sweeps that
 share a baseline -- every figure shares the no-prefetch runs -- never
 recompute *or re-parse* it.  The disk layout shards entries into
-``<cache_dir>/<kind>/<digest prefix>/`` directories and every write is
-atomic (temp file + ``os.replace``), so concurrent workers and
-interrupted runs can never publish a truncated entry; a corrupt entry is
-discarded and recomputed instead of crashing the sweep.
+``<cache_dir>/<kind>/<digest prefix>/`` directories; every write is
+atomic (temp file + ``os.replace``) and wrapped in an integrity envelope
+``{"v": CACHE_VERSION, "sha": <payload digest>, "data": ...}`` verified
+on read, so a truncated, tampered or hash-collided entry is detected as
+:class:`~repro.resilience.CacheCorruption` and recomputed instead of
+being returned as a wrong result (bare pre-envelope entries are still
+readable).
+
+The batch engine is *fault tolerant* (see :mod:`repro.resilience` and
+DESIGN.md section 5): each miss is persisted to the cache the moment it
+finishes (the cache is a checkpoint -- a crashed or interrupted sweep
+resumes where it stopped), failed/hung jobs are retried with
+deterministic exponential backoff, a broken process pool is rebuilt, and
+a pool that keeps dying degrades to in-process serial execution.  All of
+it is governed by a :class:`~repro.resilience.FailurePolicy` and
+accounted in a per-batch :class:`~repro.resilience.BatchReport`
+(``runner.last_report``).
 
 Environment knobs:
 
 * ``REPRO_SCALE`` scales all instruction budgets (e.g. ``0.25`` for quick
-  smoke runs, ``4`` for higher-fidelity numbers);
+  smoke runs, ``4`` for higher-fidelity numbers; must be positive);
 * ``REPRO_JOBS`` sets the default worker count for :meth:`run_many`
-  (defaults to ``os.cpu_count()``; ``1`` forces serial execution).
+  (defaults to ``os.cpu_count()``; ``1`` forces serial execution);
+* ``REPRO_RETRIES`` / ``REPRO_TASK_TIMEOUT`` / ``REPRO_ON_ERROR`` set
+  the default :class:`~repro.resilience.FailurePolicy`;
+* ``REPRO_FAULTS`` activates the deterministic fault-injection harness
+  (chaos testing; see :mod:`repro.resilience.faults`).
 """
 
 import hashlib
+import heapq
+import itertools
 import json
 import os
 import tempfile
-from collections import namedtuple
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback
+from collections import deque, namedtuple
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
+from concurrent.futures.process import BrokenProcessPool
 
+from repro.resilience import (
+    BatchReport,
+    CacheCorruption,
+    FailurePolicy,
+    SimulationError,
+    TaskTimeout,
+    WorkerCrash,
+    call_with_retries,
+    get_fault_plan,
+)
+from repro.resilience.retry import backoff_delay
 from repro.sim.cmp import CMPSystem
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import weighted_speedup
@@ -40,7 +74,8 @@ from repro.sim.system import RunResult, System
 from repro.workloads.mixes import foa_from_result
 from repro.workloads.spec import build_workload
 
-# v2: sharded cache layout (<kind>/<digest prefix>/ subdirectories)
+# v2: sharded cache layout (<kind>/<digest prefix>/ subdirectories) with
+# integrity envelopes ({"v", "sha", "data"}) on every entry
 CACHE_VERSION = 2
 
 # default per-run instruction budgets (pre-REPRO_SCALE)
@@ -59,8 +94,9 @@ _scale_cache = (None, 1.0)
 def scaled(budget):
     """Apply the REPRO_SCALE environment knob to an instruction budget.
 
-    The parse is memoised on the raw string value; a non-numeric value
-    raises a clear :class:`ValueError` instead of a bare float() error.
+    The parse is memoised on the raw string value; a non-numeric or
+    non-positive value raises a clear :class:`ValueError` instead of a
+    bare float() error or a silently-clamped budget.
     """
     global _scale_cache
     raw = os.environ.get("REPRO_SCALE")
@@ -76,12 +112,22 @@ def scaled(budget):
                     "REPRO_SCALE must be a number (e.g. 0.25 or 4), "
                     "got %r" % (raw,)
                 )
+            if scale <= 0:
+                raise ValueError(
+                    "REPRO_SCALE must be positive (e.g. 0.25 or 4), "
+                    "got %r" % (raw,)
+                )
         _scale_cache = (raw, scale)
     return max(1000, int(budget * scale))
 
 
 def default_jobs():
-    """Worker count for parallel batches: ``REPRO_JOBS`` or cpu count."""
+    """Worker count for parallel batches: ``REPRO_JOBS`` or cpu count.
+
+    ``REPRO_JOBS`` must be a positive integer; non-positive values are
+    rejected rather than silently clamped (``REPRO_JOBS=1`` is the
+    explicit way to force serial execution).
+    """
     raw = os.environ.get("REPRO_JOBS")
     if raw:
         try:
@@ -90,7 +136,12 @@ def default_jobs():
             raise ValueError(
                 "REPRO_JOBS must be an integer, got %r" % (raw,)
             )
-        return max(1, jobs)
+        if jobs <= 0:
+            raise ValueError(
+                "REPRO_JOBS must be a positive integer "
+                "(1 forces serial execution), got %r" % (raw,)
+            )
+        return jobs
     return os.cpu_count() or 1
 
 
@@ -115,15 +166,49 @@ class RunRequest(
         )
 
 
-def _execute_single(benchmark, prefetcher, instructions, config, variant):
+def _execute_single(benchmark, prefetcher, instructions, config, variant,
+                    attempt=0, fault_key=None):
     """Worker body: build and run one system; returns the result dict.
 
     Module-level so it pickles for the process pool; simulation is fully
     deterministic (seeded workload construction, no wall-clock inputs),
     which is what makes parallel output byte-identical to serial.
+
+    *attempt*/*fault_key* feed the deterministic fault-injection harness
+    (``REPRO_FAULTS``); they never influence the simulation itself.
     """
+    plan = get_fault_plan()
+    if plan.active:
+        if fault_key is None:
+            fault_key = repr((benchmark, prefetcher, instructions, variant))
+        plan.inject_execution_faults(fault_key, attempt)
     system = System(build_workload(benchmark, variant), config)
     return system.run(instructions).as_dict()
+
+
+def _payload_sha(data):
+    """Content digest stored in (and verified against) cache envelopes."""
+    return hashlib.sha1(
+        json.dumps(data, sort_keys=True).encode()
+    ).hexdigest()[:16]
+
+
+class _Task(object):
+    """One unique cache miss moving through the batch engine."""
+
+    __slots__ = ("memo_key", "job", "path", "indices", "key", "attempts")
+
+    def __init__(self, memo_key, job, path, indices):
+        self.memo_key = memo_key
+        self.job = job                  # resolved RunRequest field tuple
+        self.path = path                # cache destination (or None)
+        self.indices = indices          # result slots this job fills
+        self.key = memo_key[1]          # digest: fault/jitter identity
+        self.attempts = 0
+
+    @property
+    def request(self):
+        return RunRequest(*self.job)
 
 
 class ExperimentRunner:
@@ -133,11 +218,20 @@ class ExperimentRunner:
         cache (the in-memory memo stays active for the runner's lifetime).
     :param jobs: default worker count for :meth:`run_many`; None defers to
         ``REPRO_JOBS`` / cpu count at call time.
+    :param policy: default :class:`~repro.resilience.FailurePolicy` for
+        :meth:`run_single`/:meth:`run_many`; None defers to the
+        ``REPRO_RETRIES``/``REPRO_TASK_TIMEOUT``/``REPRO_ON_ERROR``
+        environment at call time.
+
+    After each :meth:`run_many` call, :attr:`last_report` holds the
+    :class:`~repro.resilience.BatchReport` for the batch.
     """
 
-    def __init__(self, cache_dir=None, jobs=None):
+    def __init__(self, cache_dir=None, jobs=None, policy=None):
         self.cache_dir = cache_dir
         self.jobs = jobs
+        self.policy = policy
+        self.last_report = None
         self._memo = {}
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
@@ -172,13 +266,52 @@ class ExperimentRunner:
         cache_dir too."""
         return (kind, self._digest(kind, payload))
 
-    def _cached(self, path, memo_key=None):
+    def _load_entry(self, path):
+        """Read and verify one cache entry; returns the inner payload.
+
+        :raises FileNotFoundError: no entry at *path*.
+        :raises CacheCorruption: unparseable JSON, an envelope with the
+            wrong version, or a payload that fails digest verification
+            (e.g. a hash-prefix collision or manual tampering).
+
+        Entries written before the integrity envelope (bare payloads
+        without ``{"v", "sha", "data"}``) are returned as-is.
+        """
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            raise
+        except (ValueError, OSError) as exc:
+            raise CacheCorruption(
+                "unreadable cache entry %s: %s" % (path, exc), path=path
+            )
+        if isinstance(data, dict) and {"v", "sha", "data"} <= data.keys():
+            if data["v"] != CACHE_VERSION:
+                raise CacheCorruption(
+                    "cache entry %s has envelope version %r (expected %r)"
+                    % (path, data["v"], CACHE_VERSION),
+                    path=path,
+                )
+            payload = data["data"]
+            if _payload_sha(payload) != data["sha"]:
+                raise CacheCorruption(
+                    "cache entry %s failed payload digest verification"
+                    % (path,),
+                    path=path,
+                )
+            return payload
+        # legacy bare entry (pre-envelope): trust it as-is
+        return data
+
+    def _cached(self, path, memo_key=None, report=None):
         """Return the cached payload for *path*, or None.
 
         Probes the in-memory memo first (repeated baseline lookups stop
-        re-reading and re-parsing JSON).  A corrupt or unreadable disk
-        entry is discarded -- the run is recomputed rather than crashing
-        the sweep.
+        re-reading and re-parsing JSON).  A corrupt, tampered or
+        unreadable disk entry is discarded -- the run is recomputed
+        rather than crashing the sweep -- and counted on *report* when
+        one is supplied.
         """
         if memo_key is not None:
             hit = self._memo.get(memo_key)
@@ -187,13 +320,12 @@ class ExperimentRunner:
         if not path:
             return None
         try:
-            with open(path) as handle:
-                data = json.load(handle)
+            data = self._load_entry(path)
         except FileNotFoundError:
             return None
-        except (ValueError, OSError):
-            # truncated/corrupt entry (e.g. a pre-v2 non-atomic write
-            # interrupted mid-dump): drop it and recompute
+        except CacheCorruption:
+            if report is not None:
+                report.cache_corruptions += 1
             try:
                 os.unlink(path)
             except OSError:
@@ -204,16 +336,28 @@ class ExperimentRunner:
         return data
 
     def _save(self, path, data, memo_key=None):
-        """Persist *data* atomically (temp file + ``os.replace``).
+        """Persist *data* in an integrity envelope, atomically.
 
-        Safe under concurrent writers: each writes its own temp file and
-        the final rename is atomic on POSIX, so readers never observe a
-        partial entry.
+        The envelope (``{"v", "sha", "data"}``) lets :meth:`_load_entry`
+        verify the payload on read; the temp-file + ``os.replace`` dance
+        is safe under concurrent writers, so readers never observe a
+        partial entry.  (The ``corrupt-cache`` fault of ``REPRO_FAULTS``
+        injects garbage here to exercise the verification path.)
         """
         if memo_key is not None:
             self._memo[memo_key] = data
         if not path:
             return
+        text = json.dumps({
+            "v": CACHE_VERSION,
+            "sha": _payload_sha(data),
+            "data": data,
+        })
+        plan = get_fault_plan()
+        if plan.active:
+            garbage = plan.corrupt_payload(path)
+            if garbage is not None:
+                text = garbage
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(
@@ -221,7 +365,7 @@ class ExperimentRunner:
         )
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(data, handle)
+                handle.write(text)
             os.replace(tmp_path, path)
         except BaseException:
             try:
@@ -232,6 +376,13 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
     # single-run primitives
+
+    def _resolve_policy(self, policy=None):
+        if policy is not None:
+            return policy
+        if self.policy is not None:
+            return self.policy
+        return FailurePolicy.from_env()
 
     def _resolve_request(self, request):
         """Normalise a :class:`RunRequest`/tuple into concrete job args."""
@@ -252,18 +403,21 @@ class ExperimentRunner:
         return payload
 
     def run_single(self, benchmark, prefetcher="none", instructions=None,
-                   config=None, variant=0):
+                   config=None, variant=0, policy=None):
         """Run one benchmark solo; returns a :class:`~repro.sim.RunResult`.
 
         *variant* selects a re-seeded instance of the workload (see
-        :func:`~repro.workloads.build_workload`).
+        :func:`~repro.workloads.build_workload`).  A failing run is
+        retried per the :class:`~repro.resilience.FailurePolicy` (no
+        per-task timeout -- a single in-process run cannot be
+        interrupted) and raises a structured
+        :class:`~repro.resilience.SimulationError` once the retry budget
+        is exhausted.
         """
-        benchmark, prefetcher, instructions, config, variant = (
-            self._resolve_request(
-                RunRequest(benchmark, prefetcher, instructions, config,
-                           variant)
-            )
+        job = self._resolve_request(
+            RunRequest(benchmark, prefetcher, instructions, config, variant)
         )
+        benchmark, prefetcher, instructions, config, variant = job
         payload = self._single_payload(benchmark, instructions, config,
                                        variant)
         path = self._cache_path("single", payload)
@@ -271,48 +425,77 @@ class ExperimentRunner:
         cached = self._cached(path, memo_key)
         if cached is not None:
             return RunResult(dict(cached))
-        data = _execute_single(benchmark, prefetcher, instructions, config,
-                               variant)
+        policy = self._resolve_policy(policy)
+        fault_key = memo_key[1]
+        try:
+            data, _attempts = call_with_retries(
+                lambda attempt: _execute_single(
+                    *job, attempt=attempt, fault_key=fault_key
+                ),
+                fault_key, policy,
+            )
+        except SimulationError as error:
+            error.request = RunRequest(*job)
+            raise
         self._save(path, data, memo_key)
         return RunResult(dict(data))
 
     # ------------------------------------------------------------------
     # parallel batch API
 
-    def run_many(self, requests, jobs=None):
+    def run_many(self, requests, jobs=None, policy=None):
         """Run a batch of independent single-core jobs, in parallel.
 
         :param requests: iterable of :class:`RunRequest` (or tuples with
             the same field order).
         :param jobs: worker processes; defaults to the runner's ``jobs``,
             then ``REPRO_JOBS``, then ``os.cpu_count()``.
+        :param policy: :class:`~repro.resilience.FailurePolicy` override
+            for this batch.
         :returns: list of :class:`~repro.sim.RunResult` in *request
             order* -- scheduling is cache-aware (hits are served from the
             memo/disk without touching the pool; duplicate requests are
             simulated once) but the output ordering is deterministic and
-            byte-identical to running each request serially.
+            byte-identical to running each request serially.  Under
+            ``on_error="skip"``, a slot whose job ultimately failed holds
+            ``None``.
+
+        Fault tolerance: every miss is persisted to the cache the moment
+        it finishes, so a later failure or an interrupt loses at most the
+        in-flight jobs and re-running the batch resumes from the cache.
+        Failed or hung jobs are retried with deterministic backoff; a
+        broken pool is rebuilt up to ``policy.max_pool_rebuilds`` times
+        and then the batch degrades to in-process serial execution.
+        ``KeyboardInterrupt`` shuts the pool down (cancelling queued
+        futures) and re-raises.  :attr:`last_report` holds the batch's
+        :class:`~repro.resilience.BatchReport` afterwards.
         """
         resolved = [self._resolve_request(request) for request in requests]
+        policy = self._resolve_policy(policy)
+        report = BatchReport(total=len(resolved))
+        self.last_report = report
         results = [None] * len(resolved)
 
         # cache probe pass: serve hits, group misses by identity
-        miss_groups = {}  # memo_key -> (job args, path, [indices])
+        miss_groups = {}  # memo_key -> _Task
         for index, job in enumerate(resolved):
             benchmark, prefetcher, instructions, config, variant = job
             payload = self._single_payload(benchmark, instructions, config,
                                            variant)
             path = self._cache_path("single", payload)
             memo_key = self._memo_key("single", payload)
-            cached = self._cached(path, memo_key)
+            cached = self._cached(path, memo_key, report=report)
             if cached is not None:
                 results[index] = RunResult(dict(cached))
+                report.hits += 1
                 continue
-            group = miss_groups.get(memo_key)
-            if group is None:
-                miss_groups[memo_key] = (job, path, [index])
+            task = miss_groups.get(memo_key)
+            if task is None:
+                miss_groups[memo_key] = _Task(memo_key, job, path, [index])
             else:
-                group[2].append(index)
+                task.indices.append(index)
 
+        report.misses = len(miss_groups)
         if not miss_groups:
             return results
 
@@ -320,27 +503,227 @@ class ExperimentRunner:
             jobs = self.jobs
         if jobs is None:
             jobs = default_jobs()
-        jobs = max(1, min(int(jobs), len(miss_groups)))
+        jobs = int(jobs)
+        if jobs < 1:
+            raise ValueError(
+                "jobs must be a positive integer (1 forces serial "
+                "execution), got %r" % (jobs,)
+            )
+        jobs = min(jobs, len(miss_groups))
 
-        ordered = list(miss_groups.items())
-        if jobs == 1 or len(ordered) == 1:
-            computed = [_execute_single(*job) for _, (job, _, _) in ordered]
+        tasks = list(miss_groups.values())
+        if jobs == 1:
+            self._run_serial(tasks, results, report, policy)
         else:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = [
-                    pool.submit(_execute_single, *job)
-                    for _, (job, _, _) in ordered
-                ]
-                computed = [future.result() for future in futures]
-
-        for (memo_key, (job, path, indices)), data in zip(ordered, computed):
-            self._save(path, data, memo_key)
-            for index in indices:
-                results[index] = RunResult(dict(data))
+            self._run_pool(tasks, results, report, policy, jobs)
         return results
 
+    # -- batch internals ------------------------------------------------
+
+    def _complete(self, task, data, results, report):
+        """Persist one finished miss immediately (save-as-completed)."""
+        self._save(task.path, data, task.memo_key)
+        for index in task.indices:
+            results[index] = RunResult(dict(data))
+
+    def _finalize_failure(self, task, error, results, report, policy,
+                          allow_serial=True):
+        """A task exhausted its retry budget: apply ``policy.on_error``."""
+        error.request = task.request
+        error.attempts = task.attempts
+        if policy.on_error == "serial" and allow_serial:
+            # last resort: run the job in-process, bypassing the pool
+            report.degradations += 1
+            try:
+                data = _execute_single(*task.job, attempt=task.attempts,
+                                       fault_key=task.key)
+            except Exception as exc:
+                final = SimulationError(
+                    "task %s failed in-process after pool failures: %s"
+                    % (task.key[:12], exc),
+                    request=task.request,
+                    attempts=task.attempts + 1,
+                    cause_traceback=traceback.format_exc(),
+                )
+                report.record_failure(final)
+                raise final from exc
+            self._complete(task, data, results, report)
+            return
+        if policy.on_error == "skip":
+            report.skipped += 1
+            report.record_failure(error)
+            return
+        report.record_failure(error)
+        raise error
+
+    def _run_serial(self, tasks, results, report, policy):
+        """In-process execution path (``jobs=1`` and pool degradation).
+
+        Still retries per the policy (an injected or transient fault is
+        recovered in place), but cannot enforce ``task_timeout`` -- an
+        in-process job is uninterruptible.  Saves each result as it
+        completes, so an interrupt loses at most the current job.
+        """
+        for task in tasks:
+            def attempt_fn(attempt, _job=task.job, _key=task.key):
+                return _execute_single(*_job, attempt=attempt,
+                                       fault_key=_key)
+
+            def on_retry(exc, attempt):
+                report.errors += 1
+                report.retries += 1
+
+            try:
+                data, made = call_with_retries(
+                    attempt_fn, task.key, policy, on_retry=on_retry,
+                    start_attempt=task.attempts,
+                )
+            except SimulationError as error:
+                report.errors += 1
+                task.attempts += policy.retries + 1
+                self._finalize_failure(task, error, results, report,
+                                       policy, allow_serial=False)
+                continue
+            task.attempts += made
+            self._complete(task, data, results, report)
+
+    def _run_pool(self, tasks, results, report, policy, jobs):
+        """Process-pool execution with retries, timeouts and rebuilds.
+
+        Structure: a ready ``queue``, a ``retry_heap`` of
+        ``(not_before, seq, task)`` backoff entries, and a ``pending``
+        map of in-flight futures.  Each loop tick tops the pool up to
+        its effective capacity, waits briefly for completions, persists
+        every finished job immediately, scans for per-task timeouts, and
+        rebuilds the pool when it breaks (worker crash) or when every
+        worker slot is blocked by an abandoned hung job.  Exceeding
+        ``policy.max_pool_rebuilds`` degrades the rest of the batch to
+        :meth:`_run_serial`.
+        """
+        queue = deque(tasks)
+        retry_heap = []               # (ready_time, seq, task)
+        seq = itertools.count()
+        pending = {}                  # future -> (task, start_time)
+        abandoned = 0                 # hung workers we walked away from
+        rebuilds = 0
+        pool = ProcessPoolExecutor(max_workers=jobs)
+
+        def fail(task, error, now):
+            """Retry with backoff, or finalise per the failure policy."""
+            task.attempts += 1
+            if task.attempts <= policy.retries:
+                report.retries += 1
+                delay = backoff_delay(policy, task.key, task.attempts - 1)
+                heapq.heappush(retry_heap, (now + delay, next(seq), task))
+            else:
+                self._finalize_failure(task, error, results, report, policy)
+
+        try:
+            while queue or retry_heap or pending:
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    queue.append(heapq.heappop(retry_heap)[2])
+
+                broken = False
+                capacity = max(1, jobs - abandoned)
+                while queue and len(pending) < capacity:
+                    task = queue.popleft()
+                    try:
+                        future = pool.submit(
+                            _execute_single, *task.job,
+                            attempt=task.attempts, fault_key=task.key,
+                        )
+                    except (BrokenProcessPool, RuntimeError):
+                        queue.appendleft(task)
+                        broken = True
+                        break
+                    pending[future] = (task, time.monotonic())
+
+                if pending and not broken:
+                    done, _ = _futures_wait(
+                        pending, timeout=policy.poll_interval,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    now = time.monotonic()
+                    for future in done:
+                        task, _started = pending.pop(future)
+                        try:
+                            data = future.result()
+                        except BrokenProcessPool as exc:
+                            broken = True
+                            report.crashes += 1
+                            fail(task, WorkerCrash(
+                                "worker died while running %r: %s"
+                                % (task.request, exc),
+                                request=task.request,
+                                attempts=task.attempts + 1,
+                            ), now)
+                        except Exception as exc:
+                            report.errors += 1
+                            fail(task, SimulationError(
+                                "task %r raised %s: %s"
+                                % (task.request, type(exc).__name__, exc),
+                                request=task.request,
+                                attempts=task.attempts + 1,
+                                cause_traceback="".join(
+                                    traceback.format_exception(
+                                        type(exc), exc, exc.__traceback__
+                                    )
+                                ),
+                            ), now)
+                        else:
+                            self._complete(task, data, results, report)
+                    if policy.task_timeout is not None:
+                        overdue = [
+                            future
+                            for future, (_task, started) in pending.items()
+                            if now - started > policy.task_timeout
+                        ]
+                        for future in overdue:
+                            task, _started = pending.pop(future)
+                            if not future.cancel():
+                                # already running: the worker is hung and
+                                # cannot be interrupted; abandon it
+                                abandoned += 1
+                            report.timeouts += 1
+                            fail(task, TaskTimeout(
+                                "task %r exceeded the %.3gs task timeout"
+                                % (task.request, policy.task_timeout),
+                                request=task.request,
+                                attempts=task.attempts + 1,
+                            ), now)
+                elif not pending and retry_heap and not broken:
+                    # nothing in flight: sleep until the next retry is due
+                    time.sleep(min(policy.poll_interval,
+                                   max(0.0, retry_heap[0][0] - now)))
+
+                if broken or (abandoned and abandoned >= jobs):
+                    # tear the pool down; requeue surviving in-flight
+                    # tasks without charging them an attempt
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    for _future, (task, _started) in pending.items():
+                        queue.append(task)
+                    pending.clear()
+                    abandoned = 0
+                    rebuilds += 1
+                    report.pool_rebuilds += 1
+                    if rebuilds > policy.max_pool_rebuilds:
+                        remaining = list(queue)
+                        queue.clear()
+                        while retry_heap:
+                            remaining.append(heapq.heappop(retry_heap)[2])
+                        report.degradations += len(remaining)
+                        self._run_serial(remaining, results, report, policy)
+                        return
+                    pool = ProcessPoolExecutor(max_workers=jobs)
+        finally:
+            # normal exit, a raised failure, or KeyboardInterrupt: always
+            # cancel queued futures and release the pool without waiting
+            # on abandoned hung workers, then let the exception re-raise
+            pool.shutdown(wait=False, cancel_futures=True)
+
     def sweep(self, benchmarks, prefetchers, instructions=None, config_for=None,
-              base_config=None, jobs=None):
+              base_config=None, jobs=None, policy=None):
         """Cross-product sweep with the shared no-prefetch baseline.
 
         Runs ``benchmarks x (prefetchers + baseline)`` through
@@ -351,6 +734,7 @@ class ExperimentRunner:
         :param config_for: optional ``fn(prefetcher) -> SystemConfig``.
         :param base_config: optional baseline config (must keep
             ``prefetcher="none"``).
+        :param policy: :class:`~repro.resilience.FailurePolicy` override.
         """
         requests = []
         for bench in benchmarks:
@@ -362,7 +746,7 @@ class ExperimentRunner:
                 requests.append(
                     RunRequest(bench, prefetcher, instructions, config)
                 )
-        results = iter(self.run_many(requests, jobs=jobs))
+        results = iter(self.run_many(requests, jobs=jobs, policy=policy))
         baselines = {}
         table = {}
         for bench in benchmarks:

@@ -56,6 +56,19 @@ def test_run_many_respects_repro_jobs_env(tmp_path, monkeypatch):
         default_jobs()
 
 
+def test_repro_jobs_rejects_non_positive(monkeypatch):
+    for bad in ("0", "-4"):
+        monkeypatch.setenv("REPRO_JOBS", bad)
+        with pytest.raises(ValueError, match="REPRO_JOBS must be a positive"):
+            default_jobs()
+
+
+def test_run_many_rejects_non_positive_jobs():
+    runner = ExperimentRunner()
+    with pytest.raises(ValueError, match="jobs must be a positive"):
+        runner.run_many([RunRequest("gamess", "none", BUDGET)], jobs=0)
+
+
 def test_run_many_deduplicates_identical_requests():
     runner = ExperimentRunner()
     request = RunRequest("gamess", "none", BUDGET)

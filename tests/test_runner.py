@@ -38,6 +38,15 @@ def test_scaled_rejects_non_numeric(monkeypatch):
         scaled(100_000)
 
 
+def test_scaled_rejects_non_positive(monkeypatch):
+    for bad in ("0", "-1", "-0.25"):
+        monkeypatch.setenv("REPRO_SCALE", bad)
+        with pytest.raises(ValueError, match="REPRO_SCALE must be positive"):
+            scaled(100_000)
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    assert scaled(100_000) == 50_000  # the bad value was not memoised
+
+
 def test_run_single_cached_on_disk(tmp_path):
     runner = ExperimentRunner(cache_dir=str(tmp_path))
     first = runner.run_single("gamess", "none", instructions=5_000)
@@ -77,10 +86,11 @@ def test_corrupt_cache_entry_is_discarded_and_recomputed(tmp_path):
     fresh = ExperimentRunner(cache_dir=str(tmp_path))
     recomputed = fresh.run_single("gamess", "none", instructions=5_000)
     assert recomputed.as_dict() == first.as_dict()
-    # the corrupt entry was replaced by a valid one
+    # the corrupt entry was replaced by a valid enveloped one
     (path,) = cache_files(tmp_path)
     with open(path) as handle:
-        assert json.load(handle) == first.as_dict()
+        entry = json.load(handle)
+    assert entry["data"] == first.as_dict()
 
 
 def test_cache_writes_leave_no_temp_files(tmp_path):
