@@ -37,8 +37,11 @@ def test_energy_per_useful_prefetch(runner, archive, benchmark):
                     system.prefetcher.storage_bits(), walks,
                 )
                 totals[prefetcher]["pj"] += model.total_pj
+                # "useful" here = demanded prefetches (useful + late now
+                # that the outcome counters are disjoint)
+                stats = result.data["prefetch"]
                 totals[prefetcher]["useful"] += \
-                    result.data["prefetch"]["useful"]
+                    stats["useful"] + stats["late"]
         return totals
 
     totals = benchmark.pedantic(experiment, rounds=1, iterations=1)

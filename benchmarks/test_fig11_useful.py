@@ -25,7 +25,11 @@ def test_fig11_useful_vs_useless(runner, archive, benchmark):
                 stats = runner.run_single(
                     bench, prefetcher, instructions
                 ).data["prefetch"]
-                values["%s useful" % prefetcher] = float(stats["useful"])
+                # Fig. 11's "useful" = demanded prefetches; with the
+                # disjoint outcome counters that is useful + late
+                values["%s useful" % prefetcher] = float(
+                    stats["useful"] + stats["late"]
+                )
                 values["%s useless" % prefetcher] = float(stats["useless"])
             for column in COLUMNS:
                 totals[column] += values[column]

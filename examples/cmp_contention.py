@@ -34,7 +34,8 @@ def main():
             SystemConfig(prefetcher=prefetcher),
         )
         results = cmp_system.run(per_app)
-        ws = weighted_speedup([r.ipc for r in results], singles)
+        ws = weighted_speedup([r.ipc for r in results], singles,
+                              benchmarks=mix)
         if baseline_ws is None:
             baseline_ws = ws
         useless = sum(r.data["prefetch"]["useless"] for r in results)

@@ -24,8 +24,10 @@ def run_point(runner, benchmark, label, config):
         SystemConfig(prefetcher="bfetch", bfetch=config),
     )
     stats = result.data["prefetch"]
-    resolved = stats["useful"] + stats["useless"]
-    accuracy = 100.0 * stats["useful"] / resolved if resolved else 0.0
+    # useful / late / useless are disjoint: "demanded" = useful + late
+    demanded = stats["useful"] + stats["late"]
+    resolved = demanded + stats["useless"]
+    accuracy = 100.0 * demanded / resolved if resolved else 0.0
     print("  %-22s speedup=%.2fx depth=%4.1f accuracy=%5.1f%% issued=%d" % (
         label,
         result.ipc / base.ipc,

@@ -26,7 +26,8 @@ def main():
 
     print("benchmark: %s (%d instructions)" % (benchmark, instructions))
     print("%-8s %8s %9s %9s %10s %10s" %
-          ("config", "speedup", "useful", "useless", "state KB", "energy nJ"))
+          ("config", "speedup", "demanded", "useless", "state KB",
+           "energy nJ"))
     baseline_ipc = None
     for name in ZOO:
         system = System(workload, SystemConfig(prefetcher=name))
@@ -39,7 +40,8 @@ def main():
             result, name, bits, getattr(system.prefetcher, "walks", None)
         ).total_pj / 1000.0
         print("%-8s %7.2fx %9d %9d %10.2f %10.1f" % (
-            name, result.ipc / baseline_ipc, stats["useful"],
+            name, result.ipc / baseline_ipc,
+            stats["useful"] + stats["late"],  # demanded (disjoint counters)
             stats["useless"], bits / 8192.0, energy,
         ))
     print("\n(state KB for isb/stems is *grown metadata* -- the originals "

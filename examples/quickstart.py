@@ -24,17 +24,19 @@ def main():
 
     print("benchmark: %s  (%d instructions)" % (benchmark, instructions))
     print("%-8s %7s %8s %9s %9s %9s" %
-          ("config", "IPC", "speedup", "useful", "useless", "accuracy"))
+          ("config", "IPC", "speedup", "demanded", "useless", "accuracy"))
     for prefetcher in PREFETCHERS:
         result = runner.run_single(benchmark, prefetcher, instructions)
         stats = result.data["prefetch"]
-        resolved = stats["useful"] + stats["useless"]
-        accuracy = stats["useful"] / resolved if resolved else float("nan")
+        # useful / late / useless are disjoint: "demanded" = useful + late
+        demanded = stats["useful"] + stats["late"]
+        resolved = demanded + stats["useless"]
+        accuracy = demanded / resolved if resolved else float("nan")
         print("%-8s %7.3f %7.2fx %9d %9d %8.1f%%" % (
             prefetcher,
             result.ipc,
             result.ipc / baseline.ipc,
-            stats["useful"],
+            demanded,
             stats["useless"],
             100 * accuracy,
         ))

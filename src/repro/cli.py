@@ -9,6 +9,14 @@ Commands
 ``table1``     the Table I storage-overhead accounting
 ``list``       available benchmarks and prefetchers
 ``bench-perf`` perf micro-harness (simulated instr/sec, BENCH_*.json)
+``stats``      gem5-style hierarchical stats dump for one fresh run
+``trace``      structured JSONL event trace for one fresh run
+
+Observability: ``stats`` and ``trace`` always simulate fresh (never the
+result cache) because they read live component state -- the
+:class:`~repro.obs.StatsRegistry` built at system assembly and the
+:class:`~repro.obs.Tracer` event buffer.  Set ``REPRO_TRACE`` to attach
+a tracer to any other command's runs (see :mod:`repro.obs.trace`).
 
 Parallelism: ``--jobs N`` (or the ``REPRO_JOBS`` environment variable)
 fans independent runs out over a process pool; results are byte-identical
@@ -112,15 +120,17 @@ def cmd_compare(args):
         if result is None:  # skipped under --on-error=skip
             failed.append(prefetcher)
             continue
+        stats = result.data["prefetch"]
         rows.append((prefetcher, {
             "ipc": result.ipc,
             "speedup": result.ipc / base.ipc,
-            "useful": float(result.data["prefetch"]["useful"]),
-            "useless": float(result.data["prefetch"]["useless"]),
+            # disjoint outcomes: demanded = useful (in time) + late
+            "demanded": float(stats["useful"] + stats["late"]),
+            "useless": float(stats["useless"]),
         }))
     print(render_table("%s (%d instructions)"
                        % (args.benchmark, args.instructions),
-                       rows, ["ipc", "speedup", "useful", "useless"]))
+                       rows, ["ipc", "speedup", "demanded", "useless"]))
     for prefetcher in failed:
         print("note: %s run failed and was skipped" % prefetcher,
               file=sys.stderr)
@@ -148,7 +158,8 @@ def cmd_mix(args):
             SystemConfig(prefetcher=prefetcher),
         )
         results = cmp_system.run(args.instructions)
-        ws = weighted_speedup([r.ipc for r in results], singles)
+        ws = weighted_speedup([r.ipc for r in results], singles,
+                              benchmarks=args.apps)
         if baseline is None:
             baseline = ws
         rows.append((prefetcher, {
@@ -193,6 +204,48 @@ def cmd_bench_perf(args):
     if not args.no_write:
         path = write_bench_json(payload, args.out)
         print("wrote %s" % path)
+    return 0
+
+
+def cmd_stats(args):
+    import json as _json
+
+    from repro.sim.system import System
+    from repro.workloads.spec import build_workload as _build
+
+    system = System(_build(args.benchmark),
+                    SystemConfig(prefetcher=args.prefetcher))
+    system.run(args.instructions)
+    if args.json:
+        print(_json.dumps(system.stats.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(system.stats.format(args.filter))
+    return 0
+
+
+def cmd_trace(args):
+    from repro.obs import Tracer
+    from repro.obs.trace import TraceConfigError, parse_trace_spec
+    from repro.sim.system import System
+    from repro.workloads.spec import build_workload as _build
+
+    try:
+        rates = parse_trace_spec(args.categories)
+    except TraceConfigError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    tracer = Tracer(rates, path=args.out)
+    system = System(_build(args.benchmark),
+                    SystemConfig(prefetcher=args.prefetcher),
+                    tracer=tracer)
+    system.run(args.instructions)
+    counts = tracer.counts()
+    total = sum(counts.values())
+    for category in sorted(counts):
+        print("%-10s %8d events" % (category, counts[category]),
+              file=sys.stderr)
+    print("%-10s %8d events -> %s" % ("total", total, args.out),
+          file=sys.stderr)
     return 0
 
 
@@ -265,6 +318,36 @@ def build_parser():
                        help="print the summary without writing a file")
     _add_resilience(bench)
     bench.set_defaults(func=cmd_bench_perf)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run fresh and print the hierarchical stats registry",
+    )
+    stats.add_argument("benchmark", choices=BENCHMARKS)
+    stats.add_argument("prefetcher", choices=PREFETCHER_NAMES)
+    stats.add_argument("-n", "--instructions", type=int, default=100_000,
+                       help="dynamic instructions to simulate")
+    stats.add_argument("--filter", default=None, metavar="SUBSTRING",
+                       help="only print stats whose dotted name contains "
+                            "SUBSTRING (e.g. 'pf.' or 'mem.l1d')")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the nested registry dump as JSON")
+    stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run fresh with the event tracer and write a JSONL trace",
+    )
+    trace.add_argument("benchmark", choices=BENCHMARKS)
+    trace.add_argument("prefetcher", choices=PREFETCHER_NAMES)
+    trace.add_argument("-n", "--instructions", type=int, default=20_000,
+                       help="dynamic instructions to simulate")
+    trace.add_argument("--categories", default="all",
+                       help="trace spec, e.g. 'all', 'bfetch', "
+                            "'bfetch,cache:0.01' (category[:sample-rate])")
+    trace.add_argument("--out", default="repro-trace.jsonl",
+                       help="JSONL output path")
+    trace.set_defaults(func=cmd_trace)
 
     lister = sub.add_parser("list", help="list benchmarks and prefetchers")
     lister.set_defaults(func=cmd_list)

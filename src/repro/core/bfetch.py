@@ -34,10 +34,15 @@ class BFetchPrefetcher(Prefetcher):
 
     name = "bfetch"
 
-    def __init__(self, config=None):
+    def __init__(self, config=None, block_bytes=None):
         self.config = config or BFetchConfig()
         cfg = self.config
-        super().__init__(cfg.queue_capacity)
+        # geometry: the engine must agree with the L1 it feeds -- the
+        # factory passes the hierarchy's line size, which overrides the
+        # BFetchConfig default so non-64B systems keep dedup and delta
+        # learning block-aligned
+        super().__init__(cfg.queue_capacity,
+                         block_bytes if block_bytes else cfg.block_bytes)
         self.brtc = BranchTraceCache(cfg.brtc_entries)
         self.mht = MemoryHistoryTable(cfg.mht_entries, cfg.mht_reg_slots)
         self.arf = AlternateRegisterFile(delay=cfg.arf_delay)
@@ -61,6 +66,17 @@ class BFetchPrefetcher(Prefetcher):
         self.total_depth = 0
         self.candidates = 0
         self.filtered = 0
+        # per-walk depth distribution (bucket = basic blocks walked;
+        # index 0 collects walks rejected before the first step)
+        self.depth_hist = [0] * (cfg.max_lookahead + 1)
+        # tracing (None = "bfetch" category disabled)
+        self._trace_bfetch = None
+
+    def bind_tracer(self, tracer):
+        super().bind_tracer(tracer)
+        self._trace_bfetch = (
+            tracer.channel("bfetch") if tracer is not None else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -127,7 +143,8 @@ class BFetchPrefetcher(Prefetcher):
             slot = entry.slot_for(regidx, allocate=False)
             if slot is None or not slot.valid:
                 return
-            delta_blocks = (ea >> 6) - (primary_ea >> 6)
+            shift = self.block_shift  # configured L1 line geometry
+            delta_blocks = (ea >> shift) - (primary_ea >> shift)
             if 1 <= delta_blocks <= cfg.pattern_bits:
                 slot.pospatt |= 1 << (delta_blocks - 1)
             elif -cfg.pattern_bits <= delta_blocks <= -1:
@@ -179,11 +196,20 @@ class BFetchPrefetcher(Prefetcher):
         threshold = cfg.path_confidence_threshold
         probability = self.confidence.probability
         spec_history = predictor.history
+        trace = self._trace_bfetch
         path_value = probability(pc, spec_history)
         if path_value < threshold:
+            self.depth_hist[0] += 1
+            if trace is not None:
+                trace.emit("walk", now, pc=pc, depth=0,
+                           end="low_confidence")
             return
         if pred_taken:
             if target is None:
+                self.depth_hist[0] += 1
+                if trace is not None:
+                    trace.emit("walk", now, pc=pc, depth=0,
+                               end="indirect_unknown")
                 return  # indirect branch without a known target
             next_pc = target
         else:
@@ -227,11 +253,15 @@ class BFetchPrefetcher(Prefetcher):
             spec_history = (spec_history << 1) | (1 if direction else 0)
             entry_pc = next_pc
         self.total_depth += depth
+        self.depth_hist[depth] += 1
+        if trace is not None:
+            trace.emit("walk", now, pc=pc, depth=depth,
+                       end_pc=next_pc, path_conf=round(path_value, 6))
 
     def _prefetch_instr_range(self, start_pc, end_pc):
         """B-Fetch-I: queue the instruction blocks of one predicted basic
         block (entry PC through its terminating branch)."""
-        block_bytes = self.config.block_bytes
+        block_bytes = self.block_bytes
         first = start_pc & ~(block_bytes - 1)
         last = end_pc & ~(block_bytes - 1)
         limit = self.config.max_instr_blocks
@@ -247,7 +277,7 @@ class BFetchPrefetcher(Prefetcher):
         if entry is None:
             return
         cfg = self.config
-        block_bytes = cfg.block_bytes
+        block_bytes = self.block_bytes
         arf_values = self.arf.values
         push = self.push
         use_filter = cfg.use_filter

@@ -70,6 +70,10 @@ class CoreConfig:
         self.store_latency = store_latency
         self.prefetch_drain_rate = prefetch_drain_rate
         self.block_bytes = block_bytes
+        self.block_shift = block_bytes.bit_length() - 1
+        if 1 << self.block_shift != block_bytes:
+            raise ValueError("block size must be a power of two, got %r"
+                             % (block_bytes,))
 
 
 class OutOfOrderCore:
@@ -101,6 +105,9 @@ class OutOfOrderCore:
                 else hook
             )
         self.config = config or CoreConfig()
+        # fetch-block geometry follows the configured L1 line size (not a
+        # hard-coded 64B shift) so non-default lines redirect correctly
+        self._fetch_shift = self.config.block_shift
         # pipeline state
         self.cycle = 0
         self.reg_ready = [0] * 32
@@ -117,6 +124,16 @@ class OutOfOrderCore:
         self.mispredicts = 0
         self.fetch_branch_hist = [0] * (_FETCH_HIST_BUCKETS + 1)
         self.fetch_cycles = 0
+        self.rob_full_stalls = 0    # idle steps blocked by a full ROB
+        self.flush_stall_cycles = 0  # idle steps inside a redirect bubble
+        # tracing (None = "branch" category disabled)
+        self._trace_branch = None
+
+    def bind_tracer(self, tracer):
+        """Cache the tracer's ``branch`` channel (None disables)."""
+        self._trace_branch = (
+            tracer.channel("branch") if tracer is not None else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -175,6 +192,7 @@ class OutOfOrderCore:
             in_flight = len(rob) - head
             dispatched_total = retired + in_flight
             fetch_block = self._fetch_block
+            fetch_shift = self._fetch_shift
             while (
                 fetched < width
                 and in_flight < rob_cap
@@ -182,7 +200,7 @@ class OutOfOrderCore:
             ):
                 instr, taken, ea = machine_step()
                 pc = instr.pc
-                block = pc >> 6
+                block = pc >> fetch_shift
                 if block != fetch_block:
                     fetch_block = block
                     ifetch_latency = hierarchy.ifetch(pc, now)
@@ -205,6 +223,10 @@ class OutOfOrderCore:
             return now + 1
 
         # idle: jump to the next event
+        if now < self.fetch_stall_until:
+            self.flush_stall_cycles += 1
+        elif len(rob) - self._rob_head >= rob_cap:
+            self.rob_full_stalls += 1
         candidates = []
         if self._rob_head < len(rob):
             candidates.append(rob[self._rob_head])
@@ -287,6 +309,10 @@ class OutOfOrderCore:
             self.cond_branches += 1
             if not correct:
                 self.mispredicts += 1
+            trace = self._trace_branch
+            if trace is not None:
+                trace.emit("predict", now, pc=pc, taken=taken,
+                           predicted=predicted, correct=correct)
             self.confidence.update(pc, history, correct, taken)
             predictor.update(pc, taken)
             if on_branch_decode is not None:

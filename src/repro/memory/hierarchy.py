@@ -104,13 +104,32 @@ class MemoryHierarchy:
         # 100-entry prefetch queue), which is precisely why a prefetcher
         # can stream data faster than the demand window can expose misses.
         self._mshr = [0] * cfg.mshr_entries
+        # tracing: channels are None when their category is disabled, so
+        # the demand path pays at most one identity test per event site
+        self._trace_cache = None
+        self._trace_feedback = None
+        self._now = 0  # last observed cycle, for eviction-time feedback
+
+    def bind_tracer(self, tracer):
+        """Cache the tracer's ``cache``/``feedback`` channels."""
+        if tracer is None:
+            self._trace_cache = None
+            self._trace_feedback = None
+        else:
+            self._trace_cache = tracer.channel("cache")
+            self._trace_feedback = tracer.channel("feedback")
 
     # ------------------------------------------------------------------
     # internal helpers
 
     def _on_l1d_eviction(self, addr, line):
-        if line.prefetched and not line.used and self.pf_feedback is not None:
-            self.pf_feedback(line.meta, "useless")
+        if line.prefetched and not line.used:
+            if self.pf_feedback is not None:
+                self.pf_feedback(line.meta, "useless")
+            trace = self._trace_feedback
+            if trace is not None:
+                trace.emit("outcome", self._now, outcome="useless",
+                           addr=addr)
 
     def _miss_latency(self, addr, now):
         """Service a demand L1D/L1I miss below L1; returns added latency."""
@@ -140,6 +159,7 @@ class MemoryHierarchy:
         (a *late* prefetch -- partial benefit, counted separately).
         """
         cfg = self.config
+        self._now = now
         line = self.l1d.access(addr, now)
         if line is not None:
             latency = cfg.l1_latency
@@ -151,11 +171,18 @@ class MemoryHierarchy:
                     self.l1d.stats.prefetch_useful += 1
                     if self.pf_feedback is not None:
                         self.pf_feedback(line.meta, "late")
+                    trace = self._trace_feedback
+                    if trace is not None:
+                        trace.emit("outcome", now, outcome="late",
+                                   addr=addr, wait=line.ready - now)
             elif line.prefetched and not line.used:
                 line.used = True
                 self.l1d.stats.prefetch_useful += 1
                 if self.pf_feedback is not None:
                     self.pf_feedback(line.meta, "useful")
+                trace = self._trace_feedback
+                if trace is not None:
+                    trace.emit("outcome", now, outcome="useful", addr=addr)
             return latency, True
         # demand miss: allocate an MSHR (wait for one if all are busy)
         mshr = self._mshr
@@ -170,6 +197,10 @@ class MemoryHierarchy:
         mshr[slot] = start + miss_latency
         latency = (start - now) + cfg.l1_latency + miss_latency
         self.l1d.fill(addr, now)
+        trace = self._trace_cache
+        if trace is not None:
+            trace.emit("fill", now, level="L1D", addr=addr,
+                       latency=latency, demand=True)
         return latency, False
 
     def access_oracle(self, addr, now):
@@ -255,6 +286,7 @@ class MemoryHierarchy:
         if self.l1d.contains(addr):
             return False
         cfg = self.config
+        self._now = now
         if self.l2.access(addr, now) is not None:
             latency = cfg.l2_latency
         elif self.llc.access(addr, now) is not None:
@@ -266,6 +298,10 @@ class MemoryHierarchy:
             self.llc.fill(addr, now)
             self.l2.fill(addr, now)
         self.l1d.fill(addr, now, prefetched=True, meta=meta, ready=now + latency)
+        trace = self._trace_cache
+        if trace is not None:
+            trace.emit("fill", now, level="L1D", addr=addr,
+                       latency=latency, demand=False, ready=now + latency)
         return True
 
     # ------------------------------------------------------------------

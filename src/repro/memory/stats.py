@@ -4,11 +4,25 @@ The paper's Fig. 11 reports *useful* (prefetched block demanded before
 eviction) versus *useless* (evicted untouched) prefetches; we additionally
 track *late* prefetches (demanded while still in flight -- partially
 useful) and queue drops.
+
+The three outcome counters are **disjoint**: a resolved prefetch is
+exactly one of ``useful``, ``late`` or ``useless``.  (Earlier revisions
+double-counted ``late`` into ``useful``; see DESIGN.md section 6.)  The
+derived metrics follow the standard prefetching taxonomy:
+
+* ``accuracy``   = (useful + late) / (useful + late + useless) -- the
+  fraction of resolved prefetches that were demanded at all;
+* ``timeliness`` = useful / (useful + late) -- of the demanded ones, the
+  fraction that arrived in time.
+
+Coverage needs the demand-miss count and is therefore derived at the
+system level (a :class:`~repro.obs.Ratio` over the L1D stats, see
+``pf.<name>.coverage`` in the stats registry).
 """
 
 
 class PrefetchStats:
-    """Counters for one prefetcher instance."""
+    """Counters for one prefetcher instance (disjoint outcomes)."""
 
     __slots__ = ("issued", "useful", "useless", "late", "dropped", "duplicate")
 
@@ -21,13 +35,28 @@ class PrefetchStats:
         self.duplicate = 0
 
     @property
+    def resolved(self):
+        """Prefetches whose outcome is known."""
+        return self.useful + self.late + self.useless
+
+    @property
     def accuracy(self):
-        """Useful fraction of issued prefetches that have been resolved."""
-        resolved = self.useful + self.useless
-        return self.useful / resolved if resolved else 0.0
+        """Demanded fraction (useful or late) of resolved prefetches."""
+        resolved = self.resolved
+        return (self.useful + self.late) / resolved if resolved else 0.0
+
+    @property
+    def timeliness(self):
+        """In-time fraction of the demanded prefetches."""
+        demanded = self.useful + self.late
+        return self.useful / demanded if demanded else 0.0
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}
+
+    def reset(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
 
     def __repr__(self):
         return (

@@ -1,0 +1,35 @@
+"""Atomic file writes shared by the result cache and the tracer.
+
+One implementation of the temp-file + ``os.replace`` dance (factored out
+of the sweep engine's cache writer) so every on-disk artifact -- cache
+entries, trace files, stats dumps -- is crash-safe: readers never
+observe a partially written file, and a failed write leaves no debris.
+"""
+
+import os
+import tempfile
+
+
+def atomic_write_text(path, text):
+    """Write *text* to *path* atomically (temp file + ``os.replace``).
+
+    Parent directories are created as needed.  Safe under concurrent
+    writers: the last completed ``os.replace`` wins and every reader
+    sees either the old or the new complete content.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=os.path.splitext(path)[1]
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path

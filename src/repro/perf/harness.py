@@ -26,6 +26,7 @@ import tempfile
 import time
 
 from repro.cpu.functional import Machine
+from repro.obs import Profiler
 from repro.sim.config import SystemConfig
 from repro.sim.runner import ExperimentRunner, RunRequest
 from repro.sim.system import System
@@ -38,37 +39,38 @@ COMPONENTS = ("functional", "ooo", "full_system")
 SWEEP_PREFETCHERS = ("none", "stride", "sms", "bfetch")
 
 
-def _time_run(fn):
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
-
-
 def bench_component(component, benchmark="libquantum", instructions=30_000):
-    """Time one component; returns ``{instructions, seconds, instr_per_sec}``.
+    """Time one component; returns ``{instructions, seconds, instr_per_sec,
+    phases}``.
 
-    Construction cost (workload build, table allocation) is excluded --
-    only the simulation loop is timed.
+    ``seconds``/``instr_per_sec`` cover the simulation loop only, keeping
+    the payload comparable with older ``repro-perf-v1`` files; the
+    ``phases`` block (a :class:`~repro.obs.Profiler` dump) additionally
+    splits construction (workload build + system assembly) from the run
+    so construction-cost regressions are visible too.
     """
-    workload = build_workload(benchmark)
-    if component == "functional":
-        machine = Machine(workload.program, dict(workload.memory))
-        seconds = _time_run(lambda: machine.run(instructions))
-    elif component == "ooo":
-        system = System(workload, SystemConfig(prefetcher="none"))
-        seconds = _time_run(lambda: system.run(instructions))
-    elif component == "full_system":
-        system = System(workload, SystemConfig(prefetcher="bfetch"))
-        seconds = _time_run(lambda: system.run(instructions))
-    else:
-        raise ValueError(
-            "unknown component %r (choose from %s)"
-            % (component, ", ".join(COMPONENTS))
-        )
+    profiler = Profiler()
+    with profiler.section("build"):
+        workload = build_workload(benchmark)
+        if component == "functional":
+            target = Machine(workload.program, dict(workload.memory))
+        elif component == "ooo":
+            target = System(workload, SystemConfig(prefetcher="none"))
+        elif component == "full_system":
+            target = System(workload, SystemConfig(prefetcher="bfetch"))
+        else:
+            raise ValueError(
+                "unknown component %r (choose from %s)"
+                % (component, ", ".join(COMPONENTS))
+            )
+    with profiler.section("run", items=instructions):
+        target.run(instructions)
+    seconds = profiler.phases["run"].seconds
     return {
         "instructions": instructions,
         "seconds": seconds,
         "instr_per_sec": instructions / seconds if seconds else 0.0,
+        "phases": profiler.as_dict(),
     }
 
 

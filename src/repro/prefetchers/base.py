@@ -23,12 +23,24 @@ IFETCH_META = ("ifetch",)
 
 
 class Prefetcher:
-    """Base class with no-op hooks; a "no prefetching" baseline as-is."""
+    """Base class with no-op hooks; a "no prefetching" baseline as-is.
+
+    :param queue_capacity: bounded request queue size (Table I: 100).
+    :param block_bytes: cache-line size used for issue-side dedup; must
+        match the L1 line size of the hierarchy the prefetcher feeds
+        (the factory passes ``HierarchyConfig.block_bytes`` through).
+    """
 
     name = "none"
     is_perfect = False
 
-    def __init__(self, queue_capacity=100):
+    def __init__(self, queue_capacity=100, block_bytes=64):
+        shift = block_bytes.bit_length() - 1
+        if 1 << shift != block_bytes:
+            raise ValueError("block size must be a power of two, got %r"
+                             % (block_bytes,))
+        self.block_bytes = block_bytes
+        self.block_shift = shift
         self.stats = PrefetchStats()
         self.queue = PrefetchQueue(queue_capacity)
         # recently-requested block filter: overlapping lookahead windows
@@ -36,6 +48,15 @@ class Prefetcher:
         # would otherwise flood the bounded queue with repeats and starve
         # the genuinely new requests at the front of the stream
         self._recent = OrderedDict()
+        # tracing: None when the "prefetch" category is disabled, so the
+        # drain loop pays a single identity test per issued request
+        self._trace_prefetch = None
+
+    def bind_tracer(self, tracer):
+        """Cache the tracer's ``prefetch`` channel (None disables)."""
+        self._trace_prefetch = (
+            tracer.channel("prefetch") if tracer is not None else None
+        )
 
     # ------------------------------------------------------------------
     # events raised by the timing core / system
@@ -61,12 +82,18 @@ class Prefetcher:
         """An L1D line was evicted (SMS generation tracking)."""
 
     def feedback(self, meta, outcome):
-        """A prefetched block resolved: outcome in {useful, late, useless}."""
+        """A prefetched block resolved: outcome in {useful, late, useless}.
+
+        The three counters are disjoint -- a resolved prefetch lands in
+        exactly one bucket (``late`` is *not* also counted as
+        ``useful``; derived accuracy/timeliness live on
+        :class:`~repro.memory.PrefetchStats` and as Ratio stats in the
+        registry).
+        """
         if outcome == "useful":
             self.stats.useful += 1
         elif outcome == "late":
             self.stats.late += 1
-            self.stats.useful += 1
         elif outcome == "useless":
             self.stats.useless += 1
         else:
@@ -80,9 +107,10 @@ class Prefetcher:
 
         Requests whose block was pushed within the last
         :data:`_RECENT_BLOCKS` distinct blocks are suppressed as
-        duplicates.
+        duplicates.  The block number derives from the configured line
+        size (``block_shift``), not a hard-coded 64-byte geometry.
         """
-        block = addr >> 6
+        block = addr >> self.block_shift
         recent = self._recent
         if block in recent:
             recent.move_to_end(block)
@@ -103,12 +131,14 @@ class Prefetcher:
         """Issue up to *allowance* queued requests into *hierarchy*."""
         pop = self.queue.pop
         issue = hierarchy.prefetch
+        trace = self._trace_prefetch
         for _ in range(allowance):
             request = pop()
             if request is None:
                 break
             addr, meta = request
-            if meta is IFETCH_META:
+            ifetch = meta is IFETCH_META
+            if ifetch:
                 issued = hierarchy.prefetch_instr(addr, now)
             else:
                 issued = issue(addr, now, meta)
@@ -116,6 +146,9 @@ class Prefetcher:
                 self.stats.issued += 1
             else:
                 self.stats.duplicate += 1
+            if trace is not None:
+                trace.emit("issue", now, addr=addr, issued=issued,
+                           ifetch=ifetch, pf=self.name)
 
     # ------------------------------------------------------------------
 
@@ -124,4 +157,6 @@ class Prefetcher:
         return 0
 
     def reset_stats(self):
-        self.stats = PrefetchStats()
+        # reset in place: the stats object may be adopted by a
+        # StatsRegistry, which holds a live reference to it
+        self.stats.reset()

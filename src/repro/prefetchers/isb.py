@@ -28,9 +28,8 @@ class ISBPrefetcher(Prefetcher):
     name = "isb"
 
     def __init__(self, degree=3, block_bytes=64, queue_capacity=100):
-        super().__init__(queue_capacity)
+        super().__init__(queue_capacity, block_bytes)
         self.degree = degree
-        self.block_bytes = block_bytes
         self.ps = {}          # physical block -> structural address
         self.sp = {}          # structural address -> physical block
         self._next_chunk = 0  # structural space allocator

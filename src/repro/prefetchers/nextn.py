@@ -14,9 +14,8 @@ class NextNPrefetcher(Prefetcher):
     name = "nextn"
 
     def __init__(self, n=4, block_bytes=64, queue_capacity=100):
-        super().__init__(queue_capacity)
+        super().__init__(queue_capacity, block_bytes)
         self.n = n
-        self.block_bytes = block_bytes
 
     def on_load(self, pc, addr, hit, now):
         if hit:

@@ -56,13 +56,13 @@ class SMSPrefetcher(Prefetcher):
     name = "sms"
 
     def __init__(self, config=None, queue_capacity=100):
-        super().__init__(queue_capacity)
         self.config = config or SMSConfig()
         cfg = self.config
+        super().__init__(queue_capacity, cfg.block_bytes)
         self._region_shift = cfg.region_bytes.bit_length() - 1
         if 1 << self._region_shift != cfg.region_bytes:
             raise ValueError("region size must be a power of two")
-        self._block_shift = cfg.block_bytes.bit_length() - 1
+        self._block_shift = self.block_shift
         self._offset_mask = cfg.blocks_per_region - 1
         self.agt = {}  # region base -> _Generation
         self.pht = {}  # slot index -> (tag, pattern)

@@ -40,12 +40,11 @@ class StridePrefetcher(Prefetcher):
     name = "stride"
 
     def __init__(self, entries=256, degree=8, block_bytes=64, queue_capacity=100):
-        super().__init__(queue_capacity)
+        super().__init__(queue_capacity, block_bytes)
         if entries & (entries - 1):
             raise ValueError("entries must be a power of two")
         self.entries = entries
         self.degree = degree
-        self.block_bytes = block_bytes
         self.table = [None] * entries
         self._mask = entries - 1
 

@@ -106,7 +106,7 @@ class BatchReport(object):
 
     __slots__ = ("total", "hits", "misses", "retries", "timeouts",
                  "crashes", "errors", "pool_rebuilds", "degradations",
-                 "cache_corruptions", "skipped", "failures")
+                 "cache_corruptions", "skipped", "failures", "profile")
 
     def __init__(self, total=0):
         self.total = total
@@ -121,6 +121,9 @@ class BatchReport(object):
         self.cache_corruptions = 0
         self.skipped = 0
         self.failures = []
+        # optional repro.obs.Profiler attached by the sweep engine: wall
+        # clock per batch phase (cache probe vs. execution)
+        self.profile = None
 
     @property
     def eventful(self):
@@ -147,6 +150,8 @@ class BatchReport(object):
             "cache_corruptions": self.cache_corruptions,
             "skipped": self.skipped,
             "failures": [str(failure) for failure in self.failures],
+            "profile": (self.profile.as_dict()
+                        if self.profile is not None else None),
         }
 
     def summary(self):
@@ -165,6 +170,8 @@ class BatchReport(object):
                              ("skipped", self.skipped)):
             if value:
                 parts.append("%d %s" % (value, label))
+        if self.profile is not None and self.profile.phases:
+            parts.append(self.profile.summary())
         return "batch: " + ", ".join(parts)
 
     def __repr__(self):

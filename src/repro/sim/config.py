@@ -66,8 +66,14 @@ class SystemConfig:
         self.rob_entries = rob_entries
         self.bp_scale = bp_scale
         self.prefetcher = prefetcher
-        self.core = core or CoreConfig(width=width, rob_entries=rob_entries)
         self.hierarchy = hierarchy or HierarchyConfig()
+        # the core's fetch-block geometry follows the L1 line size unless
+        # an explicit CoreConfig overrides it
+        self.core = core or CoreConfig(
+            width=width,
+            rob_entries=rob_entries,
+            block_bytes=self.hierarchy.block_bytes,
+        )
         self.bfetch = bfetch or BFetchConfig()
         self.sms = sms or SMSConfig()
         self.stride_degree = stride_degree
@@ -135,24 +141,33 @@ class SystemConfig:
 
 
 def make_prefetcher(config):
-    """Instantiate the prefetcher selected by *config*."""
+    """Instantiate the prefetcher selected by *config*.
+
+    Every prefetcher's block geometry (issue-side dedup, sequential
+    stepping, delta learning) is derived from the hierarchy's L1 line
+    size rather than an assumed 64 bytes, so non-default
+    ``HierarchyConfig.block_bytes`` values stay consistent end to end.
+    """
     name = config.prefetcher
+    block_bytes = config.hierarchy.block_bytes
     if name == "none":
-        return Prefetcher()
+        return Prefetcher(block_bytes=block_bytes)
     if name == "nextn":
-        return NextNPrefetcher(n=config.nextn_degree)
+        return NextNPrefetcher(n=config.nextn_degree,
+                               block_bytes=block_bytes)
     if name == "stride":
-        return StridePrefetcher(degree=config.stride_degree)
+        return StridePrefetcher(degree=config.stride_degree,
+                                block_bytes=block_bytes)
     if name == "sms":
         return SMSPrefetcher(config.sms)
     if name == "perfect":
-        return PerfectPrefetcher()
+        return PerfectPrefetcher(block_bytes=block_bytes)
     if name == "tango":
-        return TangoPrefetcher()
+        return TangoPrefetcher(block_bytes=block_bytes)
     if name == "bfetch":
-        return BFetchPrefetcher(config.bfetch)
+        return BFetchPrefetcher(config.bfetch, block_bytes=block_bytes)
     if name == "isb":
-        return ISBPrefetcher()
+        return ISBPrefetcher(block_bytes=block_bytes)
     if name == "stems":
         return STeMSPrefetcher(config.sms)
     raise ValueError("unknown prefetcher %r" % name)

@@ -41,6 +41,13 @@ Environment knobs:
   the default :class:`~repro.resilience.FailurePolicy`;
 * ``REPRO_FAULTS`` activates the deterministic fault-injection harness
   (chaos testing; see :mod:`repro.resilience.faults`).
+
+Observability: every batch attaches a :class:`~repro.obs.Profiler` to its
+:class:`~repro.resilience.BatchReport` (``report.profile``) splitting the
+wall clock into a cache-``probe`` phase and an ``execute`` phase with a
+simulated-instructions-per-second rate, so ``[resilience]`` summaries show
+where a sweep's time went.  Atomic cache writes go through
+:func:`repro.obs.io.atomic_write_text` (shared with the trace writer).
 """
 
 import hashlib
@@ -48,7 +55,6 @@ import heapq
 import itertools
 import json
 import os
-import tempfile
 import time
 import traceback
 from collections import deque, namedtuple
@@ -66,6 +72,8 @@ from repro.resilience import (
     call_with_retries,
     get_fault_plan,
 )
+from repro.obs import Profiler
+from repro.obs.io import atomic_write_text
 from repro.resilience.retry import backoff_delay
 from repro.sim.cmp import CMPSystem
 from repro.sim.config import SystemConfig
@@ -76,7 +84,10 @@ from repro.workloads.spec import build_workload
 
 # v2: sharded cache layout (<kind>/<digest prefix>/ subdirectories) with
 # integrity envelopes ({"v", "sha", "data"}) on every entry
-CACHE_VERSION = 2
+# v3: disjoint prefetch outcome counters (useful no longer double-counts
+# late, see DESIGN.md section 6) change cached payload values, so v2
+# entries must not be served
+CACHE_VERSION = 3
 
 # default per-run instruction budgets (pre-REPRO_SCALE)
 DEFAULT_SINGLE_BUDGET = 200_000
@@ -340,9 +351,11 @@ class ExperimentRunner:
 
         The envelope (``{"v", "sha", "data"}``) lets :meth:`_load_entry`
         verify the payload on read; the temp-file + ``os.replace`` dance
-        is safe under concurrent writers, so readers never observe a
-        partial entry.  (The ``corrupt-cache`` fault of ``REPRO_FAULTS``
-        injects garbage here to exercise the verification path.)
+        (:func:`repro.obs.io.atomic_write_text`, shared with the trace
+        writer) is safe under concurrent writers, so readers never
+        observe a partial entry.  (The ``corrupt-cache`` fault of
+        ``REPRO_FAULTS`` injects garbage here to exercise the
+        verification path.)
         """
         if memo_key is not None:
             self._memo[memo_key] = data
@@ -358,21 +371,7 @@ class ExperimentRunner:
             garbage = plan.corrupt_payload(path)
             if garbage is not None:
                 text = garbage
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(
-            dir=directory, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(text)
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, text)
 
     # ------------------------------------------------------------------
     # single-run primitives
@@ -473,27 +472,30 @@ class ExperimentRunner:
         resolved = [self._resolve_request(request) for request in requests]
         policy = self._resolve_policy(policy)
         report = BatchReport(total=len(resolved))
+        report.profile = profiler = Profiler()
         self.last_report = report
         results = [None] * len(resolved)
 
         # cache probe pass: serve hits, group misses by identity
         miss_groups = {}  # memo_key -> _Task
-        for index, job in enumerate(resolved):
-            benchmark, prefetcher, instructions, config, variant = job
-            payload = self._single_payload(benchmark, instructions, config,
-                                           variant)
-            path = self._cache_path("single", payload)
-            memo_key = self._memo_key("single", payload)
-            cached = self._cached(path, memo_key, report=report)
-            if cached is not None:
-                results[index] = RunResult(dict(cached))
-                report.hits += 1
-                continue
-            task = miss_groups.get(memo_key)
-            if task is None:
-                miss_groups[memo_key] = _Task(memo_key, job, path, [index])
-            else:
-                task.indices.append(index)
+        with profiler.section("probe", items=len(resolved)):
+            for index, job in enumerate(resolved):
+                benchmark, prefetcher, instructions, config, variant = job
+                payload = self._single_payload(benchmark, instructions,
+                                               config, variant)
+                path = self._cache_path("single", payload)
+                memo_key = self._memo_key("single", payload)
+                cached = self._cached(path, memo_key, report=report)
+                if cached is not None:
+                    results[index] = RunResult(dict(cached))
+                    report.hits += 1
+                    continue
+                task = miss_groups.get(memo_key)
+                if task is None:
+                    miss_groups[memo_key] = _Task(memo_key, job, path,
+                                                  [index])
+                else:
+                    task.indices.append(index)
 
         report.misses = len(miss_groups)
         if not miss_groups:
@@ -512,10 +514,14 @@ class ExperimentRunner:
         jobs = min(jobs, len(miss_groups))
 
         tasks = list(miss_groups.values())
-        if jobs == 1:
-            self._run_serial(tasks, results, report, policy)
-        else:
-            self._run_pool(tasks, results, report, policy, jobs)
+        # execute phase: rate = simulated instructions per wall-clock
+        # second across all misses (each duplicate group simulates once)
+        simulated = sum(task.job[2] for task in tasks)
+        with profiler.section("execute", items=simulated):
+            if jobs == 1:
+                self._run_serial(tasks, results, report, policy)
+            else:
+                self._run_pool(tasks, results, report, policy, jobs)
         return results
 
     # -- batch internals ------------------------------------------------
@@ -800,8 +806,10 @@ class ExperimentRunner:
         ]
         base = self.run_mix(mix, "none", instructions, base_config)
         run = self.run_mix(mix, prefetcher, instructions, config)
-        ws_base = weighted_speedup([r.ipc for r in base], singles)
-        ws_run = weighted_speedup([r.ipc for r in run], singles)
+        ws_base = weighted_speedup([r.ipc for r in base], singles,
+                                   benchmarks=mix)
+        ws_run = weighted_speedup([r.ipc for r in run], singles,
+                                  benchmarks=mix)
         return ws_run / ws_base
 
     def foa_map(self, benchmarks, instructions=None):

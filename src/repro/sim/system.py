@@ -1,10 +1,26 @@
-"""Single-core system assembly and run-result records."""
+"""Single-core system assembly, run-result records, and observability.
+
+Every :class:`System` carries a :class:`~repro.obs.StatsRegistry` that
+*adopts* the component counters under hierarchical dotted names
+(``core.mispredicts``, ``mem.l1d.misses``, ``pf.bfetch.issued``) and
+derives the standard prefetching ratios (accuracy / coverage /
+timeliness) lazily.  The registry is a passive view: components keep
+bumping plain ints, so building it costs nothing per simulated
+instruction and :class:`RunResult` payloads stay byte-identical whether
+or not anybody ever reads the registry.
+
+Tracing (``REPRO_TRACE``, see :mod:`repro.obs.trace`) is wired the same
+way: a :class:`~repro.obs.Tracer` -- explicit or from the environment --
+is bound into the core, hierarchy and prefetcher at assembly time, and
+``None`` channels keep the hot paths branch-cheap when tracing is off.
+"""
 
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.confidence import CompositeConfidenceEstimator
 from repro.cpu.functional import Machine
 from repro.cpu.ooo import OutOfOrderCore
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs import StatsRegistry, Tracer
 from repro.sim.config import SystemConfig, make_prefetcher
 
 
@@ -15,6 +31,12 @@ class RunResult:
         self.data = data
 
     def __getattr__(self, name):
+        # Dunder (and "data") lookups must fail fast with AttributeError:
+        # pickle/copy/inspect probe names like __getstate__/__deepcopy__
+        # through getattr, and before __init__ runs (unpickling) a probe
+        # for "data" itself would recurse through this hook forever.
+        if name.startswith("__") or name == "data":
+            raise AttributeError(name)
         try:
             return self.data[name]
         except KeyError:
@@ -60,6 +82,107 @@ class RunResult:
         )
 
 
+def build_registry(core, hierarchy, prefetcher, registry=None, core_prefix=""):
+    """Adopt a system's component counters into a stats registry.
+
+    :param core_prefix: optional disambiguator for CMP systems (e.g.
+        ``"core0."``) so several cores can share one registry.
+    :returns: the (possibly freshly created) registry.
+    """
+    reg = registry if registry is not None else StatsRegistry()
+    p = core_prefix
+
+    reg.adopt(p + "core", core, fields=(
+        "retired", "cycle", "branches", "cond_branches", "mispredicts",
+        "fetch_cycles", "flush_stall_cycles",
+    ), descs={
+        "retired": "instructions retired",
+        "cycle": "cycles simulated",
+        "mispredicts": "mispredicted branches (cond + indirect)",
+        "fetch_cycles": "cycles with at least one fetched instruction",
+        "flush_stall_cycles": "idle steps spent in redirect bubbles",
+    })
+    reg.register(_adopted(p + "core.rob.full_stalls", core,
+                          "rob_full_stalls",
+                          "idle steps blocked by a full ROB"))
+    reg.register(_adopted(p + "core.fetch.branches_per_cycle", core,
+                          "fetch_branch_hist",
+                          "Fig. 7 branches-per-fetch-cycle histogram"))
+    reg.ratio(p + "core.ipc",
+              lambda: core.retired, lambda: max(core.cycle, 1),
+              "instructions per cycle")
+    reg.ratio(p + "core.mispredict_rate",
+              lambda: core.mispredicts,
+              lambda: core.cond_branches,
+              "mispredicts per conditional branch")
+
+    for level_name, cache in (("l1i", hierarchy.l1i), ("l1d", hierarchy.l1d),
+                              ("l2", hierarchy.l2), ("llc", hierarchy.llc)):
+        stats = cache.stats
+        reg.adopt(p + "mem." + level_name, stats)
+        reg.ratio(p + "mem.%s.miss_rate" % level_name,
+                  _attr(stats, "misses"), _attr(stats, "accesses"),
+                  "demand misses per access")
+    dram = hierarchy.dram
+    reg.adopt(p + "mem.dram", dram,
+              fields=("accesses", "prefetch_accesses", "busy_cycles"),
+              descs={"busy_cycles": "channel occupancy in cycles"})
+
+    pf = p + "pf.%s" % prefetcher.name
+    stats = prefetcher.stats
+    reg.adopt(pf, stats)
+    reg.ratio(pf + ".accuracy",
+              lambda: stats.useful + stats.late,
+              lambda: stats.useful + stats.late + stats.useless,
+              "demanded fraction of resolved prefetches")
+    reg.ratio(pf + ".timeliness",
+              lambda: stats.useful,
+              lambda: stats.useful + stats.late,
+              "in-time fraction of demanded prefetches")
+    l1d_stats = hierarchy.l1d.stats
+    reg.ratio(pf + ".coverage",
+              lambda: stats.useful + stats.late,
+              lambda: stats.useful + stats.late + l1d_stats.misses,
+              "covered fraction of would-be demand misses")
+    if hasattr(prefetcher, "brtc"):  # B-Fetch engine extras
+        reg.adopt(pf, prefetcher,
+                  fields=("walks", "total_depth", "candidates", "filtered"),
+                  descs={
+                      "walks": "lookahead walks started",
+                      "total_depth": "basic blocks walked in total",
+                      "candidates": "MHT slots considered for prefetch",
+                      "filtered": "candidates suppressed by the filter",
+                  })
+        reg.register(_adopted(pf + ".lookahead_depth", prefetcher,
+                              "depth_hist",
+                              "basic blocks walked per lookahead"))
+        reg.ratio(pf + ".mean_lookahead_depth",
+                  lambda: prefetcher.total_depth,
+                  lambda: prefetcher.walks,
+                  "average lookahead depth (paper reports ~8)")
+        brtc, mht = prefetcher.brtc, prefetcher.mht
+        reg.ratio(pf + ".brtc.hit_rate",
+                  _attr(brtc, "hits"), _attr(brtc, "lookups"),
+                  "Branch Trace Cache hit rate")
+        reg.ratio(pf + ".mht.hit_rate",
+                  _attr(mht, "hits"), _attr(mht, "lookups"),
+                  "Memory History Table hit rate")
+        reg.derived(pf + ".filter.blocked",
+                    lambda: prefetcher.filter.blocked,
+                    "prefetches blocked by the per-load filter")
+    return reg
+
+
+def _adopted(name, obj, attr, desc):
+    from repro.obs.registry import AdoptedStat
+    return AdoptedStat(name, obj, attr, desc)
+
+
+def _attr(obj, attr):
+    """Late-bound attribute getter for Ratio stats."""
+    return lambda: getattr(obj, attr)
+
+
 class System:
     """A single simulated core with its private L2 and (by default)
     private LLC slice, built from a :class:`~repro.sim.SystemConfig`.
@@ -69,9 +192,16 @@ class System:
     :param config: system configuration; Table II defaults when None.
     :param llc: optional shared LLC (CMP mode).
     :param dram: optional shared DRAM (CMP mode).
+    :param tracer: optional :class:`~repro.obs.Tracer`; when None the
+        ``REPRO_TRACE`` environment decides (unset = tracing off).
+    :param registry: optional shared :class:`~repro.obs.StatsRegistry`
+        (CMP mode); a private one is built when None.
+    :param stats_prefix: name prefix for this system's stats when
+        sharing a registry (e.g. ``"core0."``).
     """
 
-    def __init__(self, workload, config=None, llc=None, dram=None):
+    def __init__(self, workload, config=None, llc=None, dram=None,
+                 tracer=None, registry=None, stats_prefix=""):
         self.config = config or SystemConfig()
         self.workload = workload
         self.machine = Machine(workload.program, dict(workload.memory))
@@ -99,11 +229,27 @@ class System:
             self.prefetcher,
             self.config.core,
         )
+        # observability: tracer channels bound once at assembly; the
+        # registry passively adopts every component's counters
+        self.tracer = tracer if tracer is not None else Tracer.from_env()
+        self.core.bind_tracer(self.tracer)
+        self.hierarchy.bind_tracer(self.tracer)
+        self.prefetcher.bind_tracer(self.tracer)
+        self.stats = build_registry(
+            self.core, self.hierarchy, self.prefetcher,
+            registry=registry, core_prefix=stats_prefix,
+        )
 
     def run(self, instructions):
         """Run to completion of *instructions* and return a
-        :class:`RunResult`."""
+        :class:`RunResult`.
+
+        When a tracer with an output path is active, the buffered trace
+        is flushed (atomically) after the run completes.
+        """
         self.core.run(instructions)
+        if self.tracer is not None:
+            self.tracer.flush()
         return RunResult.from_core(
             self.core, self.workload.name, self.config.prefetcher
         )

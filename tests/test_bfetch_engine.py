@@ -61,7 +61,8 @@ def test_stream_prefetches_are_useful():
     system = run_system(STREAM)
     pf = system.prefetcher
     assert pf.stats.issued > 100
-    assert pf.stats.useful > 0.8 * pf.stats.issued
+    # demanded = useful + late now that the outcome counters are disjoint
+    assert pf.stats.useful + pf.stats.late > 0.8 * pf.stats.issued
     assert pf.walks > 0
     assert pf.mean_lookahead_depth > 2
 

@@ -35,8 +35,10 @@ def test_prefetch_accounting_identity(results):
     """Resolved prefetches never exceed issued ones."""
     for result in results.values():
         stats = result.data["prefetch"]
-        assert stats["useful"] + stats["useless"] <= stats["issued"]
-        assert stats["late"] <= stats["useful"]
+        # outcomes are disjoint: every resolved prefetch is exactly one of
+        # useful / late / useless, and none resolve without being issued
+        resolved = stats["useful"] + stats["late"] + stats["useless"]
+        assert resolved <= stats["issued"]
 
 
 def test_cache_hits_plus_misses_equals_accesses(results):

@@ -1,5 +1,7 @@
 """Baseline prefetchers: base class, next-n, stride, SMS, perfect, tango."""
 
+import pytest
+
 from repro.isa import Instr, Op, Program
 from repro.memory import HierarchyConfig, MemoryHierarchy
 from repro.prefetchers import (
@@ -48,13 +50,19 @@ class TestBase:
         p.drain(h, 0, 4)
         assert p.stats.duplicate >= 1
 
-    def test_feedback_accounting(self):
+    def test_feedback_accounting_is_disjoint(self):
         p = Prefetcher()
         p.feedback(None, "useful")
         p.feedback(None, "late")
         p.feedback(None, "useless")
-        assert p.stats.useful == 2 and p.stats.late == 1
+        # useful / late / useless are disjoint outcome counters
+        assert p.stats.useful == 1
+        assert p.stats.late == 1
         assert p.stats.useless == 1
+        assert p.stats.resolved == 3
+        # accuracy counts demanded (useful + late) over resolved
+        assert p.stats.accuracy == pytest.approx(2 / 3)
+        assert p.stats.timeliness == pytest.approx(1 / 2)
 
 
 class TestNextN:
