@@ -46,5 +46,21 @@ class BranchTargetBuffer:
         self.tags[index] = tag
         self.targets[index] = target
 
+    def snapshot(self):
+        """Tags, targets and hit counters as a JSON-safe structure."""
+        return {
+            "tags": list(self.tags),
+            "targets": list(self.targets),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore(self, state):
+        """Restore BTB state from :meth:`snapshot` output."""
+        self.tags = list(state["tags"])
+        self.targets = list(state["targets"])
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
     def storage_bits(self):
         return self.entries * (self.tag_bits + 32)

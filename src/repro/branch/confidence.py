@@ -59,6 +59,12 @@ class JRSEstimator:
         else:
             self.table[index] = 0
 
+    def snapshot(self):
+        return {"table": list(self.table)}
+
+    def restore(self, state):
+        self.table = list(state["table"])
+
     def storage_bits(self):
         return self.entries * self.counter_bits
 
@@ -86,6 +92,12 @@ class UpDownEstimator:
                 self.table[index] += 1
         elif self.table[index] > 0:
             self.table[index] -= 1
+
+    def snapshot(self):
+        return {"table": list(self.table)}
+
+    def restore(self, state):
+        self.table = list(state["table"])
 
     def storage_bits(self):
         return self.entries * self.counter_bits
@@ -121,6 +133,16 @@ class SelfCounterEstimator:
             self.streaks[index] = 0
             self.last_dir[index] = taken
 
+    def snapshot(self):
+        return {
+            "streaks": list(self.streaks),
+            "last_dir": list(self.last_dir),
+        }
+
+    def restore(self, state):
+        self.streaks = list(state["streaks"])
+        self.last_dir = [bool(value) for value in state["last_dir"]]
+
     def storage_bits(self):
         return self.entries * (self.counter_bits + 1)
 
@@ -153,6 +175,20 @@ class CompositeConfidenceEstimator:
         self.jrs.update(pc, history, correct)
         self.updown.update(pc, history, correct)
         self.selfc.update(pc, history, correct, taken)
+
+    def snapshot(self):
+        """Component estimator tables as a JSON-safe structure."""
+        return {
+            "jrs": self.jrs.snapshot(),
+            "updown": self.updown.snapshot(),
+            "selfc": self.selfc.snapshot(),
+        }
+
+    def restore(self, state):
+        """Restore estimator state from :meth:`snapshot` output."""
+        self.jrs.restore(state["jrs"])
+        self.updown.restore(state["updown"])
+        self.selfc.restore(state["selfc"])
 
     def storage_bits(self):
         return (

@@ -47,5 +47,14 @@ class GsharePredictor:
             self.table[index] = count - 1
         self.history = ((self.history << 1) | (1 if taken else 0)) & self._hist_mask
 
+    def snapshot(self):
+        """Counter table and live history as a JSON-safe structure."""
+        return {"table": list(self.table), "history": self.history}
+
+    def restore(self, state):
+        """Restore predictor state from :meth:`snapshot` output."""
+        self.table = list(state["table"])
+        self.history = state["history"]
+
     def storage_bits(self):
         return self.entries * self.counter_bits + self.history_bits

@@ -44,6 +44,18 @@ class LocalPredictor:
             self.counters[pindex] = count - 1
         self.histories[hindex] = ((local << 1) | (1 if taken else 0)) & self._pmask
 
+    def snapshot(self):
+        """Histories and pattern counters as a JSON-safe structure."""
+        return {
+            "histories": list(self.histories),
+            "counters": list(self.counters),
+        }
+
+    def restore(self, state):
+        """Restore predictor state from :meth:`snapshot` output."""
+        self.histories = list(state["histories"])
+        self.counters = list(state["counters"])
+
     def storage_bits(self):
         return (
             self.history_entries * self.history_bits

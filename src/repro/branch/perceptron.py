@@ -76,6 +76,18 @@ class PerceptronPredictor:
                     weights[position] = value
         self.history = ((history << 1) | (1 if taken else 0)) & self._hist_mask
 
+    def snapshot(self):
+        """Weight vectors and live history as a JSON-safe structure."""
+        return {
+            "weights": [list(vector) for vector in self.weights],
+            "history": self.history,
+        }
+
+    def restore(self, state):
+        """Restore predictor state from :meth:`snapshot` output."""
+        self.weights = [list(vector) for vector in state["weights"]]
+        self.history = state["history"]
+
     def storage_bits(self):
         return (
             self.entries * (self.history_bits + 1) * self.weight_bits

@@ -96,6 +96,20 @@ class TournamentPredictor:
         self.local.update(pc, taken)
         self.gshare.update(pc, taken)  # also shifts the global history
 
+    def snapshot(self):
+        """Component predictors and chooser as a JSON-safe structure."""
+        return {
+            "local": self.local.snapshot(),
+            "gshare": self.gshare.snapshot(),
+            "chooser": list(self.chooser),
+        }
+
+    def restore(self, state):
+        """Restore predictor state from :meth:`snapshot` output."""
+        self.local.restore(state["local"])
+        self.gshare.restore(state["gshare"])
+        self.chooser = list(state["chooser"])
+
     def storage_bits(self):
         return (
             self.local.storage_bits()

@@ -1,0 +1,99 @@
+"""JSON codecs for simulator snapshot state.
+
+Component ``snapshot()`` methods return plain JSON-safe structures
+(ints, strings, lists, ``None``); these helpers cover the three cases
+that are *not* naturally JSON-safe:
+
+* **Prefetch metadata** travels as opaque Python values (``None``,
+  ints, nested tuples, and the :data:`~repro.prefetchers.base.IFETCH_META`
+  identity sentinel) through queues and cache lines.
+  :func:`encode_meta`/:func:`decode_meta` round-trip them, *preserving
+  the sentinel's identity* -- the drain loop distinguishes
+  instruction-side requests with ``meta is IFETCH_META``, so a restored
+  queue must hand back the very same singleton.
+* **Dicts with non-string keys** (register maps, cache sets, history
+  tables).  JSON objects force string keys and components depend on
+  insertion order (LRU tie-breaks iterate the set dict), so dicts are
+  stored as order-preserving ``[key, value]`` pair lists via
+  :func:`pairs`/:func:`int_dict`.
+* **``random.Random`` streams** (the ``random`` replacement policy).
+  :func:`rng_to_json`/:func:`rng_from_json` round-trip
+  ``getstate()``/``setstate()`` tuples.
+"""
+
+_TAG = "__t__"
+
+
+def encode_meta(meta):
+    """Encode an opaque prefetch meta value into JSON-safe form.
+
+    Handles ``None``, bools, ints, floats, strings, lists and
+    (recursively) tuples; the ``IFETCH_META`` singleton gets a dedicated
+    tag so :func:`decode_meta` can restore its identity.
+    """
+    from repro.prefetchers.base import IFETCH_META
+    if meta is IFETCH_META:
+        return {_TAG: "ifetch"}
+    if meta is None or isinstance(meta, (bool, int, float, str)):
+        return meta
+    if isinstance(meta, tuple):
+        return {_TAG: "tuple", "v": [encode_meta(item) for item in meta]}
+    if isinstance(meta, list):
+        return {_TAG: "list", "v": [encode_meta(item) for item in meta]}
+    if isinstance(meta, dict):
+        return {_TAG: "dict",
+                "v": [[encode_meta(k), encode_meta(v)]
+                      for k, v in meta.items()]}
+    raise TypeError(
+        "cannot snapshot prefetch meta of type %s: %r"
+        % (type(meta).__name__, meta)
+    )
+
+
+def decode_meta(obj):
+    """Inverse of :func:`encode_meta` (restores ``IFETCH_META`` identity)."""
+    from repro.prefetchers.base import IFETCH_META
+    if isinstance(obj, dict):
+        tag = obj.get(_TAG)
+        if tag == "ifetch":
+            return IFETCH_META
+        if tag == "tuple":
+            return tuple(decode_meta(item) for item in obj["v"])
+        if tag == "list":
+            return [decode_meta(item) for item in obj["v"]]
+        if tag == "dict":
+            return {decode_meta(k): decode_meta(v) for k, v in obj["v"]}
+        raise ValueError("unknown meta tag %r" % (tag,))
+    return obj
+
+
+def pairs(mapping):
+    """Dict -> order-preserving ``[[key, value], ...]`` pair list.
+
+    Keys/values must already be JSON-safe; insertion order is preserved
+    so order-sensitive structures (OrderedDict windows, cache sets whose
+    iteration order breaks LRU ties) restore byte-identically.
+    """
+    return [[key, value] for key, value in mapping.items()]
+
+
+def int_dict(pair_list):
+    """Pair list -> dict with the keys coerced back to ``int``.
+
+    JSON round-trips through string keys when a dict is serialised
+    directly; storing pair lists sidesteps that, but defensive coercion
+    keeps hand-edited checkpoints working too.
+    """
+    return {int(key): value for key, value in pair_list}
+
+
+def rng_to_json(rng):
+    """``random.Random`` -> JSON-safe state (``getstate()`` tuple)."""
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def rng_from_json(rng, state):
+    """Restore a ``random.Random`` from :func:`rng_to_json` output."""
+    version, internal, gauss_next = state
+    rng.setstate((version, tuple(internal), gauss_next))

@@ -11,6 +11,19 @@ Commands
 ``bench-perf`` perf micro-harness (simulated instr/sec, BENCH_*.json)
 ``stats``      gem5-style hierarchical stats dump for one fresh run
 ``trace``      structured JSONL event trace for one fresh run
+``check``      run under the runtime invariant sanitizer; on a violation
+               auto-bisect the first bad cycle from the last checkpoint
+
+Crash safety: ``run`` takes ``--checkpoint-every N`` /
+``--checkpoint-dir DIR`` / ``--resume`` -- the simulation state is
+persisted every N cycles (atomic, integrity-enveloped) and an
+interrupted run (SIGINT/SIGTERM/``kill -9``) resumes from the last
+checkpoint with *byte-identical* results (see
+:mod:`repro.checkpoint` and docs/checkpointing.md).  All numeric
+arguments are validated up front: non-positive instruction budgets,
+intervals or worker counts are argparse errors, and unknown
+benchmark/prefetcher names are rejected by ``choices=`` before any
+simulation state is built.
 
 Observability: ``stats`` and ``trace`` always simulate fresh (never the
 result cache) because they read live component state -- the
@@ -32,6 +45,7 @@ whenever anything beyond plain cache hits/misses happened.
 """
 
 import argparse
+import os
 import sys
 
 from repro.analysis import overhead_table, render_table
@@ -43,12 +57,43 @@ from repro.workloads import BENCHMARKS, build_workload
 from repro.workloads.spec import PROFILES
 
 
+def _positive_int(text):
+    """Argparse type: a strictly positive integer, rejected up front."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected an integer, got %r" % (text,)
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "expected a positive integer, got %d" % value
+        )
+    return value
+
+
+def _positive_float(text):
+    """Argparse type: a strictly positive float, rejected up front."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a number, got %r" % (text,)
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "expected a positive number, got %r" % (text,)
+        )
+    return value
+
+
 def _add_common(parser):
-    parser.add_argument("-n", "--instructions", type=int, default=100_000,
+    parser.add_argument("-n", "--instructions", type=_positive_int,
+                        default=100_000,
                         help="dynamic instructions to simulate")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for memoised results")
-    parser.add_argument("-j", "--jobs", type=int, default=None,
+    parser.add_argument("-j", "--jobs", type=_positive_int, default=None,
                         help="worker processes for independent runs "
                              "(default: REPRO_JOBS or cpu count)")
     _add_resilience(parser)
@@ -58,7 +103,7 @@ def _add_resilience(parser):
     parser.add_argument("--retries", type=int, default=None,
                         help="retry budget per failed/hung job "
                              "(default: REPRO_RETRIES or 2)")
-    parser.add_argument("--task-timeout", type=float, default=None,
+    parser.add_argument("--task-timeout", type=_positive_float, default=None,
                         help="per-task timeout in seconds before a job is "
                              "declared hung and retried "
                              "(default: REPRO_TASK_TIMEOUT or none)")
@@ -93,6 +138,14 @@ def _report_batch(runner):
 
 
 def cmd_run(args):
+    if args.checkpoint_every or args.checkpoint_dir or args.resume:
+        # funnel the flags into the environment knobs the runner (and its
+        # pool workers) read; resume is automatic whenever a checkpoint
+        # for the same run exists in the directory
+        os.environ["REPRO_CKPT_DIR"] = (args.checkpoint_dir
+                                        or ".repro-checkpoints")
+        if args.checkpoint_every:
+            os.environ["REPRO_CKPT_EVERY"] = str(args.checkpoint_every)
     runner = _make_runner(args)
     result = runner.run_single(args.benchmark, args.prefetcher,
                                args.instructions)
@@ -249,6 +302,58 @@ def cmd_trace(args):
     return 0
 
 
+def cmd_check(args):
+    """Run one benchmark under the invariant sanitizer.
+
+    Clean run: prints the check count and headline stats, exits 0.  On a
+    violation the divergence sentinel replays from the last checkpoint
+    with per-cycle full checks and prints a report naming the first bad
+    cycle, exiting 1.  ``--inject-at CYCLE`` deliberately corrupts the
+    microarchitectural state mid-run (the same deterministic damage as
+    the ``corrupt-state`` fault verb) to demonstrate the pipeline.
+    """
+    import shutil
+    import tempfile
+
+    from repro.checkpoint import Checkpointer
+    from repro.sanitize import Sanitizer, sentinel_run
+    from repro.sim.system import System
+
+    config = SystemConfig(prefetcher=args.prefetcher)
+    benchmark = args.benchmark
+
+    def factory():
+        return System(build_workload(benchmark), config)
+
+    sanitizer = Sanitizer(args.level, interval=args.interval,
+                          snapshot_dir=args.snapshot_dir)
+    tmpdir = tempfile.mkdtemp(prefix="repro-check-")
+    try:
+        every = args.checkpoint_every
+        if every is None:
+            # checkpoint at half the injection depth (so the bisect has a
+            # pre-corruption state to replay from) or the package default
+            every = max(1, args.inject_at // 2) if args.inject_at else None
+        checkpointer = Checkpointer(
+            os.path.join(tmpdir, "check.ckpt.json"),
+            **({"every": every} if every is not None else {})
+        )
+        result, report = sentinel_run(
+            factory, args.instructions, checkpointer=checkpointer,
+            sanitizer=sanitizer, corrupt_at=args.inject_at,
+        )
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    if report is None:
+        print("sanitizer: clean (%d checks at level=%s, interval=%d cycles)"
+              % (sanitizer.checks_run, sanitizer.mode, sanitizer.interval))
+        print("%-22s %s" % ("ipc", result.ipc))
+        print("%-22s %s" % ("cycles", result.data["cycles"]))
+        return 0
+    print(report.describe(), file=sys.stderr)
+    return 1
+
+
 def cmd_list(args):
     print("benchmarks:")
     for name in BENCHMARKS:
@@ -269,6 +374,19 @@ def build_parser():
     run = sub.add_parser("run", help="run one benchmark/prefetcher")
     run.add_argument("benchmark", choices=BENCHMARKS)
     run.add_argument("prefetcher", choices=PREFETCHER_NAMES)
+    run.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                     metavar="CYCLES",
+                     help="persist a resumable checkpoint every CYCLES "
+                          "simulated cycles (default: REPRO_CKPT_EVERY "
+                          "or 50000 when checkpointing is enabled)")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="checkpoint directory (default: REPRO_CKPT_DIR "
+                          "or .repro-checkpoints)")
+    run.add_argument("--resume", action="store_true",
+                     help="resume from the checkpoint left by an "
+                          "interrupted run (enables checkpointing; the "
+                          "resume itself is automatic whenever a "
+                          "checkpoint for this run exists)")
     _add_common(run)
     run.set_defaults(func=cmd_run)
 
@@ -298,16 +416,18 @@ def build_parser():
     bench.add_argument("--benchmark", default="libquantum",
                        choices=BENCHMARKS,
                        help="workload used for the component timings")
-    bench.add_argument("-n", "--instructions", type=int, default=30_000,
+    bench.add_argument("-n", "--instructions", type=_positive_int,
+                       default=30_000,
                        help="instruction budget per component timing")
     bench.add_argument("--sweep", action="store_true",
                        help="also time a cold-cache serial-vs-parallel sweep")
     bench.add_argument("--sweep-benchmarks", nargs="+", default=None,
                        choices=BENCHMARKS,
                        help="benchmarks for the sweep (default: all)")
-    bench.add_argument("--sweep-instructions", type=int, default=10_000,
+    bench.add_argument("--sweep-instructions", type=_positive_int,
+                       default=10_000,
                        help="instruction budget per sweep run")
-    bench.add_argument("-j", "--jobs", type=int, default=None,
+    bench.add_argument("-j", "--jobs", type=_positive_int, default=None,
                        help="worker processes for the parallel sweep pass")
     bench.add_argument("--label", default=None,
                        help="free-form label stored in the JSON payload")
@@ -325,7 +445,8 @@ def build_parser():
     )
     stats.add_argument("benchmark", choices=BENCHMARKS)
     stats.add_argument("prefetcher", choices=PREFETCHER_NAMES)
-    stats.add_argument("-n", "--instructions", type=int, default=100_000,
+    stats.add_argument("-n", "--instructions", type=_positive_int,
+                       default=100_000,
                        help="dynamic instructions to simulate")
     stats.add_argument("--filter", default=None, metavar="SUBSTRING",
                        help="only print stats whose dotted name contains "
@@ -340,7 +461,8 @@ def build_parser():
     )
     trace.add_argument("benchmark", choices=BENCHMARKS)
     trace.add_argument("prefetcher", choices=PREFETCHER_NAMES)
-    trace.add_argument("-n", "--instructions", type=int, default=20_000,
+    trace.add_argument("-n", "--instructions", type=_positive_int,
+                       default=20_000,
                        help="dynamic instructions to simulate")
     trace.add_argument("--categories", default="all",
                        help="trace spec, e.g. 'all', 'bfetch', "
@@ -348,6 +470,36 @@ def build_parser():
     trace.add_argument("--out", default="repro-trace.jsonl",
                        help="JSONL output path")
     trace.set_defaults(func=cmd_trace)
+
+    check = sub.add_parser(
+        "check",
+        help="run under the invariant sanitizer; auto-bisect violations",
+    )
+    check.add_argument("benchmark", choices=BENCHMARKS)
+    check.add_argument("prefetcher", choices=PREFETCHER_NAMES)
+    check.add_argument("-n", "--instructions", type=_positive_int,
+                       default=100_000,
+                       help="dynamic instructions to simulate")
+    check.add_argument("--level", choices=("cheap", "full"), default="full",
+                       help="audit level (default: full)")
+    check.add_argument("--interval", type=_positive_int, default=None,
+                       metavar="CYCLES",
+                       help="cycles between checks (default: 1024 for "
+                            "full, 8192 for cheap)")
+    check.add_argument("--checkpoint-every", type=_positive_int,
+                       default=None, metavar="CYCLES",
+                       help="checkpoint interval feeding the auto-bisect "
+                            "replay (default: half of --inject-at, else "
+                            "50000)")
+    check.add_argument("--inject-at", type=_positive_int, default=None,
+                       metavar="CYCLE",
+                       help="deliberately corrupt microarchitectural "
+                            "state at CYCLE to demonstrate detection "
+                            "and first-bad-cycle bisection")
+    check.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                       help="dump the offending state here on a "
+                            "violation (atomic, integrity-enveloped)")
+    check.set_defaults(func=cmd_check)
 
     lister = sub.add_parser("list", help="list benchmarks and prefetchers")
     lister.set_defaults(func=cmd_list)

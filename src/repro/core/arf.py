@@ -55,6 +55,24 @@ class AlternateRegisterFile:
     def pending_count(self):
         return len(self._pending)
 
+    def snapshot(self):
+        """ARF state as a JSON-safe structure.
+
+        The pending heap is stored verbatim (a valid heap restores as a
+        valid heap -- ``heapq`` only relies on the array invariant).
+        """
+        return {
+            "values": list(self.values),
+            "seq": list(self.seq),
+            "pending": [list(entry) for entry in self._pending],
+        }
+
+    def restore(self, state):
+        """Restore ARF state from :meth:`snapshot` output."""
+        self.values = [int(value) for value in state["values"]]
+        self.seq = [int(value) for value in state["seq"]]
+        self._pending = [tuple(entry) for entry in state["pending"]]
+
     def storage_bits(self):
         # 32-bit value + 8-bit sequence field per register (Table I: 0.156KB)
         return self.num_regs * (32 + 8)

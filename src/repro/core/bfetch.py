@@ -323,6 +323,56 @@ class BFetchPrefetcher(Prefetcher):
         if meta is not None:
             self.filter.update(meta, outcome != "useless")
 
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+
+    def snapshot(self):
+        """Full engine state: base queue/stats plus BrTC/MHT/ARF/filter
+        tables and the commit-path trainer registers."""
+        state = super().snapshot()
+        state.update({
+            "brtc": self.brtc.snapshot(),
+            "mht": self.mht.snapshot(),
+            "arf": self.arf.snapshot(),
+            "filter": self.filter.snapshot(),
+            "prev_hash": self._prev_hash,
+            "prev_tag": self._prev_tag,
+            "branch_snapshot": (
+                list(self._branch_snapshot)
+                if self._branch_snapshot is not None else None
+            ),
+            "bb_primary_ea": [[regidx, ea] for regidx, ea
+                              in self._bb_primary_ea.items()],
+            "commit_seq": self._commit_seq,
+            "walks": self.walks,
+            "total_depth": self.total_depth,
+            "candidates": self.candidates,
+            "filtered": self.filtered,
+            "depth_hist": list(self.depth_hist),
+        })
+        return state
+
+    def restore(self, state):
+        """Restore engine state from :meth:`snapshot` output."""
+        super().restore(state)
+        self.brtc.restore(state["brtc"])
+        self.mht.restore(state["mht"])
+        self.arf.restore(state["arf"])
+        self.filter.restore(state["filter"])
+        self._prev_hash = state["prev_hash"]
+        self._prev_tag = state["prev_tag"]
+        snapshot = state["branch_snapshot"]
+        self._branch_snapshot = (list(snapshot) if snapshot is not None
+                                 else None)
+        self._bb_primary_ea = {int(regidx): ea for regidx, ea
+                               in state["bb_primary_ea"]}
+        self._commit_seq = state["commit_seq"]
+        self.walks = state["walks"]
+        self.total_depth = state["total_depth"]
+        self.candidates = state["candidates"]
+        self.filtered = state["filtered"]
+        self.depth_hist = list(state["depth_hist"])
+
     def storage_bits(self):
         """Sum of Table I components (cache bits are counted by the
         overhead analysis since they live in the L1D, not the engine)."""

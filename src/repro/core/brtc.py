@@ -53,6 +53,24 @@ class BranchTraceCache:
     def hit_rate(self):
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def snapshot(self):
+        """BrTC contents and counters as a JSON-safe structure."""
+        return {
+            "tags": list(self.tags),
+            "end_branch_pc": list(self.end_branch_pc),
+            "end_taken_target": list(self.end_taken_target),
+            "lookups": self.lookups,
+            "hits": self.hits,
+        }
+
+    def restore(self, state):
+        """Restore BrTC state from :meth:`snapshot` output."""
+        self.tags = list(state["tags"])
+        self.end_branch_pc = list(state["end_branch_pc"])
+        self.end_taken_target = list(state["end_taken_target"])
+        self.lookups = state["lookups"]
+        self.hits = state["hits"]
+
     def storage_bits(self):
         # tag(32) + end branch PC(32) + target(32) + valid  (Table I: 2.06KB
         # at 256 entries assumes the paper's 32-bit-folded fields; ours adds

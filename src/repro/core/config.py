@@ -43,7 +43,37 @@ class BFetchConfig:
         block_bytes=64,
     ):
         if arf_mode not in ("execute", "retire"):
-            raise ValueError("arf_mode must be 'execute' or 'retire'")
+            raise ValueError(
+                "arf_mode must be 'execute' or 'retire', got %r"
+                % (arf_mode,)
+            )
+        # fail fast on non-positive sizing knobs: a zero-entry table or
+        # a non-positive lookahead depth silently degenerates the engine
+        for field, value in (
+            ("brtc_entries", brtc_entries),
+            ("mht_entries", mht_entries),
+            ("mht_reg_slots", mht_reg_slots),
+            ("max_lookahead", max_lookahead),
+            ("filter_tables", filter_tables),
+            ("filter_entries", filter_entries),
+            ("filter_counter_bits", filter_counter_bits),
+            ("queue_capacity", queue_capacity),
+            ("max_instr_blocks", max_instr_blocks),
+            ("block_bytes", block_bytes),
+        ):
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(
+                    "%s must be a positive integer, got %r" % (field, value)
+                )
+        if not 0.0 <= path_confidence_threshold <= 1.0:
+            raise ValueError(
+                "path_confidence_threshold must be in [0, 1], got %r"
+                % (path_confidence_threshold,)
+            )
+        if arf_delay < 0:
+            raise ValueError(
+                "arf_delay must be >= 0 cycles, got %r" % (arf_delay,)
+            )
         self.brtc_entries = brtc_entries
         self.mht_entries = mht_entries
         self.mht_reg_slots = mht_reg_slots

@@ -118,6 +118,59 @@ class MemoryHistoryTable:
     def hit_rate(self):
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def snapshot(self):
+        """MHT contents and counters as a JSON-safe structure."""
+        table = []
+        for entry in self.table:
+            if entry is None:
+                table.append(None)
+                continue
+            table.append({
+                "tag": entry.tag,
+                "next_victim": entry.next_victim,
+                "slots": [
+                    {
+                        "regidx": slot.regidx,
+                        "regval": slot.regval,
+                        "offset": slot.offset,
+                        "pospatt": slot.pospatt,
+                        "negpatt": slot.negpatt,
+                        "valid": slot.valid,
+                        "loopdelta": slot.loopdelta,
+                        "load_hash": slot.load_hash,
+                        "last_ea": slot.last_ea,
+                        "stable": slot.stable,
+                    }
+                    for slot in entry.slots
+                ],
+            })
+        return {"table": table, "lookups": self.lookups, "hits": self.hits}
+
+    def restore(self, state):
+        """Restore MHT state from :meth:`snapshot` output."""
+        table = [None] * self.entries
+        for index, encoded in enumerate(state["table"]):
+            if encoded is None:
+                continue
+            entry = MHTEntry(encoded["tag"], self.reg_slots)
+            entry.next_victim = encoded["next_victim"]
+            for item in encoded["slots"]:
+                slot = RegisterHistory(item["regidx"])
+                slot.regval = item["regval"]
+                slot.offset = item["offset"]
+                slot.pospatt = item["pospatt"]
+                slot.negpatt = item["negpatt"]
+                slot.valid = item["valid"]
+                slot.loopdelta = item["loopdelta"]
+                slot.load_hash = item["load_hash"]
+                slot.last_ea = item["last_ea"]
+                slot.stable = item["stable"]
+                entry.slots.append(slot)
+            table[index] = entry
+        self.table = table
+        self.lookups = state["lookups"]
+        self.hits = state["hits"]
+
     def storage_bits(self):
         # Fig. 6: Branch tag (32) + 3 x (regIdx 5 + RegVal 32 + Offset 16 +
         # negPatt 5 + posPatt 5 + Valid 1 + LoopCnt 5 + LoopDelta 16) = 287

@@ -96,5 +96,23 @@ class PerLoadFilter:
                 count -= self.useless_penalty
                 table[index] = count if count > 0 else 0
 
+    def snapshot(self):
+        """Filter tables and counters as a JSON-safe structure."""
+        return {
+            "tables": [list(table) for table in self.tables],
+            "blocked": self.blocked,
+            "passed": self.passed,
+            "probes": self.probes,
+            "since_probe": self._since_probe,
+        }
+
+    def restore(self, state):
+        """Restore filter state from :meth:`snapshot` output."""
+        self.tables = [list(table) for table in state["tables"]]
+        self.blocked = state["blocked"]
+        self.passed = state["passed"]
+        self.probes = state["probes"]
+        self._since_probe = state["since_probe"]
+
     def storage_bits(self):
         return self.num_tables * self.entries * self.counter_bits

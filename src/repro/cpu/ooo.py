@@ -62,6 +62,24 @@ class CoreConfig:
         prefetch_drain_rate=2,
         block_bytes=64,
     ):
+        # fail fast: a zero-wide pipeline or non-positive latency makes
+        # the cycle loop diverge or silently stall forever
+        for field, value in (
+            ("width", width), ("rob_entries", rob_entries),
+            ("alu_latency", alu_latency), ("mul_latency", mul_latency),
+            ("store_latency", store_latency),
+            ("prefetch_drain_rate", prefetch_drain_rate),
+        ):
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(
+                    "CoreConfig.%s must be a positive integer, got %r"
+                    % (field, value)
+                )
+        if redirect_penalty < 0:
+            raise ValueError(
+                "CoreConfig.redirect_penalty must be >= 0 cycles, got %r"
+                % (redirect_penalty,)
+            )
         self.width = width
         self.rob_entries = rob_entries
         self.redirect_penalty = redirect_penalty
@@ -354,6 +372,65 @@ class OutOfOrderCore:
             now = step(now)
         self.cycle = now
         return now
+
+    def run_until(self, now, stop_cycle):
+        """Run from time *now* until completion or ``stop_cycle``.
+
+        The chunked driver used by checkpointing and the sanitizer: the
+        inner loop is the same tight ``step_cycle`` loop as :meth:`run`,
+        so the step sequence (and therefore every counter) is
+        byte-identical to an uninterrupted run -- the chunk boundaries
+        only decide *when* the caller gets control back.
+        """
+        step = self.step_cycle
+        while not self.done and now < stop_cycle:
+            now = step(now)
+        return now
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+
+    def snapshot(self):
+        """Pipeline state as a JSON-safe structure (machine excluded --
+        the functional core snapshots itself)."""
+        return {
+            "cycle": self.cycle,
+            "reg_ready": list(self.reg_ready),
+            # store the live window only; restoring with head 0 is
+            # behaviour-neutral (the ring compaction is itself neutral)
+            "rob": list(self.rob[self._rob_head:]),
+            "fetch_stall_until": self.fetch_stall_until,
+            "fetch_block": self._fetch_block,
+            "retired": self.retired,
+            "budget": self.budget,
+            "done": self.done,
+            "cond_branches": self.cond_branches,
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+            "fetch_branch_hist": list(self.fetch_branch_hist),
+            "fetch_cycles": self.fetch_cycles,
+            "rob_full_stalls": self.rob_full_stalls,
+            "flush_stall_cycles": self.flush_stall_cycles,
+        }
+
+    def restore(self, state):
+        """Restore pipeline state from :meth:`snapshot` output."""
+        self.cycle = state["cycle"]
+        self.reg_ready = [int(value) for value in state["reg_ready"]]
+        self.rob = list(state["rob"])
+        self._rob_head = 0
+        self.fetch_stall_until = state["fetch_stall_until"]
+        self._fetch_block = state["fetch_block"]
+        self.retired = state["retired"]
+        self.budget = state["budget"]
+        self.done = state["done"]
+        self.cond_branches = state["cond_branches"]
+        self.branches = state["branches"]
+        self.mispredicts = state["mispredicts"]
+        self.fetch_branch_hist = list(state["fetch_branch_hist"])
+        self.fetch_cycles = state["fetch_cycles"]
+        self.rob_full_stalls = state["rob_full_stalls"]
+        self.flush_stall_cycles = state["flush_stall_cycles"]
 
     @property
     def ipc(self):

@@ -69,6 +69,11 @@ def assemble(text, base_pc=0x1000, name="asm"):
         if not line:
             continue
         parts = line.replace(",", " ").split()
+        if not parts:
+            # e.g. a line of bare commas: non-empty but tokenless
+            raise AssemblerError(
+                "line %d: stray punctuation %r" % (lineno, raw.strip())
+            )
         mnemonic = parts[0].lower()
         operands = parts[1:]
         try:

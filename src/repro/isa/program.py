@@ -47,6 +47,11 @@ class Program:
                     raise ProgramError("undefined label %r" % target)
                 target = self.labels[target]
                 instr.target = target
+            if not isinstance(target, int) or isinstance(target, bool):
+                raise ProgramError(
+                    "branch target must be a label or instruction index, "
+                    "got %r" % (target,)
+                )
             if not 0 <= target < n:
                 raise ProgramError(
                     "branch target %d out of range [0, %d)" % (target, n)
@@ -78,8 +83,15 @@ class Program:
         has_halt = False
         for instr in self.instrs:
             for reg in (instr.rd, instr.ra, instr.rb):
-                if reg is not None and not 0 <= reg < 32:
-                    raise ProgramError("register index %r out of range" % (reg,))
+                if reg is None:
+                    continue
+                if not isinstance(reg, int) or isinstance(reg, bool) \
+                        or not 0 <= reg < 32:
+                    raise ProgramError("register index %r out of range"
+                                       % (reg,))
+            if not isinstance(instr.imm, int) or isinstance(instr.imm, bool):
+                raise ProgramError("immediate must be an integer, got %r"
+                                   % (instr.imm,))
             if instr.op == Op.HALT:
                 has_halt = True
             if instr.op in BRANCHES and instr.op != Op.JR and instr.target is None:

@@ -200,3 +200,53 @@ class Cache:
         """Empty the cache (listeners are not invoked)."""
         for cache_set in self.sets:
             cache_set.clear()
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+
+    def snapshot(self):
+        """Tag/line arrays, stats and policy RNG as a JSON-safe structure.
+
+        Set dictionaries are stored as insertion-ordered pair lists --
+        iteration order breaks LRU victim ties, so order is behaviour.
+        Line metas go through the shared meta codec; the ``random``
+        replacement policy's RNG stream is captured too.
+        """
+        from repro.checkpoint.state import encode_meta, rng_to_json
+        sets = []
+        for cache_set in self.sets:
+            sets.append([
+                [block,
+                 [line.lru, line.prefetched, encode_meta(line.meta),
+                  line.used, line.ready, line.dirty]]
+                for block, line in cache_set.items()
+            ])
+        state = {
+            "sets": sets,
+            "stats": self.stats.as_dict(),
+            "tick": self._tick,
+        }
+        rng = getattr(self.policy, "_rng", None)
+        if rng is not None:
+            state["policy_rng"] = rng_to_json(rng)
+        return state
+
+    def restore(self, state):
+        """Restore cache state from :meth:`snapshot` output."""
+        from repro.checkpoint.state import decode_meta, rng_from_json
+        sets = []
+        for encoded_set in state["sets"]:
+            cache_set = {}
+            for block, fields in encoded_set:
+                lru, prefetched, meta, used, ready, dirty = fields
+                line = Line(lru, prefetched, decode_meta(meta), used, ready)
+                line.dirty = dirty
+                cache_set[int(block)] = line
+            sets.append(cache_set)
+        self.sets = sets
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
+        self._tick = state["tick"]
+        rng = getattr(self.policy, "_rng", None)
+        if rng is not None and "policy_rng" in state:
+            rng_from_json(rng, state["policy_rng"])

@@ -41,6 +41,33 @@ class HierarchyConfig:
         mshr_entries=8,
         llc_policy="lru",
     ):
+        # fail fast on non-positive geometry/latency knobs: a zero-cycle
+        # latency or an empty cache silently warps every downstream stat
+        for field, value in (
+            ("l1i_size", l1i_size), ("l1i_assoc", l1i_assoc),
+            ("l1d_size", l1d_size), ("l1d_assoc", l1d_assoc),
+            ("l1_latency", l1_latency),
+            ("l2_size", l2_size), ("l2_assoc", l2_assoc),
+            ("l2_latency", l2_latency),
+            ("llc_size_per_core", llc_size_per_core),
+            ("llc_assoc", llc_assoc), ("llc_latency", llc_latency),
+            ("dram_latency", dram_latency),
+            ("block_bytes", block_bytes),
+            ("mshr_entries", mshr_entries),
+        ):
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(
+                    "HierarchyConfig.%s must be a positive integer, got %r"
+                    % (field, value)
+                )
+        # zero is legal here: it disables transfer serialisation
+        # (infinite DRAM bandwidth), which microbenchmarks rely on
+        if (not isinstance(dram_cycles_per_transfer, int)
+                or dram_cycles_per_transfer < 0):
+            raise ValueError(
+                "HierarchyConfig.dram_cycles_per_transfer must be a "
+                "non-negative integer, got %r" % (dram_cycles_per_transfer,)
+            )
         self.l1i_size = l1i_size
         self.l1i_assoc = l1i_assoc
         self.l1d_size = l1d_size
@@ -309,3 +336,37 @@ class MemoryHierarchy:
     def caches(self):
         """All cache levels, nearest first."""
         return [self.l1i, self.l1d, self.l2, self.llc]
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+
+    def snapshot(self, include_shared=True):
+        """Per-level cache state, MSHRs and DRAM as a JSON-safe structure.
+
+        :param include_shared: when False the (possibly shared) LLC and
+            DRAM are skipped -- the CMP system snapshots those once at
+            the top level instead of once per core.
+        """
+        state = {
+            "l1i": self.l1i.snapshot(),
+            "l1d": self.l1d.snapshot(),
+            "l2": self.l2.snapshot(),
+            "mshr": list(self._mshr),
+            "now": self._now,
+        }
+        if include_shared:
+            state["llc"] = self.llc.snapshot()
+            state["dram"] = self.dram.snapshot()
+        return state
+
+    def restore(self, state):
+        """Restore hierarchy state from :meth:`snapshot` output."""
+        self.l1i.restore(state["l1i"])
+        self.l1d.restore(state["l1d"])
+        self.l2.restore(state["l2"])
+        self._mshr = [int(value) for value in state["mshr"]]
+        self._now = state["now"]
+        if "llc" in state:
+            self.llc.restore(state["llc"])
+        if "dram" in state:
+            self.dram.restore(state["dram"])

@@ -40,3 +40,25 @@ class PrefetchQueue:
 
     def clear(self):
         self._queue.clear()
+
+    def snapshot(self):
+        """Queue contents as a JSON-safe structure.
+
+        Metas go through :func:`repro.checkpoint.state.encode_meta` so
+        opaque tuples and the ``IFETCH_META`` identity sentinel survive
+        the round trip.
+        """
+        from repro.checkpoint.state import encode_meta
+        return {
+            "entries": [[addr, encode_meta(meta)]
+                        for addr, meta in self._queue],
+            "drops": self.drops,
+        }
+
+    def restore(self, state):
+        """Restore queue contents from :meth:`snapshot` output."""
+        from repro.checkpoint.state import decode_meta
+        self._queue = deque(
+            (addr, decode_meta(meta)) for addr, meta in state["entries"]
+        )
+        self.drops = state["drops"]

@@ -156,6 +156,30 @@ class Prefetcher:
         """Prefetcher state budget in bits (Table-I accounting)."""
         return 0
 
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+
+    def snapshot(self):
+        """Base prefetcher state (stats, queue, dedup window).
+
+        Subclasses extend the returned dict with their private tables;
+        the ``_recent`` OrderedDict keeps its insertion order (it decides
+        which block falls out of the dedup window next).
+        """
+        return {
+            "stats": self.stats.as_dict(),
+            "queue": self.queue.snapshot(),
+            "recent": list(self._recent),
+        }
+
+    def restore(self, state):
+        """Restore base prefetcher state from :meth:`snapshot` output."""
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
+        self.queue.restore(state["queue"])
+        self._recent = OrderedDict((block, True)
+                                   for block in state["recent"])
+
     def reset_stats(self):
         # reset in place: the stats object may be adopted by a
         # StatsRegistry, which holds a live reference to it

@@ -135,6 +135,33 @@ class SMSPrefetcher(Prefetcher):
 
     # ------------------------------------------------------------------
 
+    def snapshot(self):
+        """Base state plus AGT generations and PHT patterns.
+
+        AGT insertion order is preserved (its LRU victim scan iterates
+        the dict, so ties break on order); the PHT is keyed by int slot.
+        """
+        state = super().snapshot()
+        state["agt"] = [
+            [region, [gen.trigger_key, gen.pattern, gen.lru]]
+            for region, gen in self.agt.items()
+        ]
+        state["pht"] = [[slot, list(entry)]
+                        for slot, entry in self.pht.items()]
+        state["tick"] = self._tick
+        return state
+
+    def restore(self, state):
+        """Restore prefetcher state from :meth:`snapshot` output."""
+        super().restore(state)
+        self.agt = {
+            int(region): _Generation(fields[0], fields[1], fields[2])
+            for region, fields in state["agt"]
+        }
+        self.pht = {int(slot): tuple(entry)
+                    for slot, entry in state["pht"]}
+        self._tick = state["tick"]
+
     def storage_bits(self):
         cfg = self.config
         # AGT: region tag(26) + trigger key(32) + pattern + lru(4)

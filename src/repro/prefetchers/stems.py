@@ -58,6 +58,23 @@ class STeMSPrefetcher(SMSPrefetcher):
                           * self.config.block_bytes, pc & 0x3FF)
                 pattern ^= low
 
+    def snapshot(self):
+        """SMS state plus the temporal log and its position index."""
+        state = super().snapshot()
+        state["temporal_log"] = [[region, key]
+                                 for region, key in self.temporal_log]
+        state["log_position"] = [[key, index]
+                                 for key, index in self._log_position.items()]
+        return state
+
+    def restore(self, state):
+        """Restore prefetcher state from :meth:`snapshot` output."""
+        super().restore(state)
+        self.temporal_log = [(int(region), int(key))
+                             for region, key in state["temporal_log"]]
+        self._log_position = {int(key): index
+                              for key, index in state["log_position"]}
+
     def storage_bits(self):
         """On-chip SMS state plus the grown temporal metadata (~60 bits
         per logged event, off-chip in the original)."""

@@ -69,6 +69,30 @@ class StridePrefetcher(Prefetcher):
             entry.state = _TRANSIENT if entry.state == _STEADY else _INITIAL
         entry.last_addr = addr
 
+    def snapshot(self):
+        """Base state plus the reference prediction table."""
+        state = super().snapshot()
+        state["table"] = [
+            None if entry is None
+            else [entry.tag, entry.last_addr, entry.stride, entry.state]
+            for entry in self.table
+        ]
+        return state
+
+    def restore(self, state):
+        """Restore prefetcher state from :meth:`snapshot` output."""
+        super().restore(state)
+        table = [None] * self.entries
+        for index, fields in enumerate(state["table"]):
+            if fields is None:
+                continue
+            tag, last_addr, stride, entry_state = fields
+            entry = _Entry(tag, last_addr)
+            entry.stride = stride
+            entry.state = entry_state
+            table[index] = entry
+        self.table = table
+
     def storage_bits(self):
         # tag(30) + last addr(32) + stride(16) + state(2) per entry
         return self.entries * (30 + 32 + 16 + 2)

@@ -85,6 +85,34 @@ class TangoPrefetcher(Prefetcher):
             record[1] = ea - record[0]
             record[0] = ea
 
+    def snapshot(self):
+        """Base state plus the block table and last-branch key."""
+        state = super().snapshot()
+        state["table"] = [
+            None if entry is None
+            else [entry.tag,
+                  [[load_pc, list(record)]
+                   for load_pc, record in entry.loads.items()]]
+            for entry in self.table
+        ]
+        state["last_branch_key"] = self._last_branch_key
+        return state
+
+    def restore(self, state):
+        """Restore prefetcher state from :meth:`snapshot` output."""
+        super().restore(state)
+        table = [None] * self.entries
+        for index, fields in enumerate(state["table"]):
+            if fields is None:
+                continue
+            entry = _BlockEntry(fields[0])
+            # records stay mutable lists: training updates them in place
+            entry.loads = {int(load_pc): list(record)
+                           for load_pc, record in fields[1]}
+            table[index] = entry
+        self.table = table
+        self._last_branch_key = state["last_branch_key"]
+
     def storage_bits(self):
         # tag(32) + 3 x (pc tag 10 + ea 32 + delta 16)
         return self.entries * (32 + _MAX_LOADS * (10 + 32 + 16))

@@ -14,6 +14,12 @@ the pieces:
   fault-injection harness used by the chaos tests.
 """
 
+from repro.resilience.envelope import (
+    payload_sha,
+    read_envelope_text,
+    unwrap_envelope,
+    wrap_envelope,
+)
 from repro.resilience.errors import (
     BatchReport,
     CacheCorruption,
@@ -37,6 +43,10 @@ from repro.resilience.retry import (
 )
 
 __all__ = [
+    "payload_sha",
+    "read_envelope_text",
+    "unwrap_envelope",
+    "wrap_envelope",
     "BatchReport",
     "CacheCorruption",
     "SimulationError",

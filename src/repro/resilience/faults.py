@@ -14,10 +14,15 @@ Each spec is ``kind:probability[:opt=value...]``.  Supported kinds:
 * ``hang``           -- the job sleeps ``dur`` seconds (default 5.0)
   before completing normally, tripping the per-task timeout;
 * ``corrupt-cache``  -- the cache write for an entry is replaced by
-  truncated garbage, exercising the integrity-envelope read path.
+  truncated garbage, exercising the integrity-envelope read path;
+* ``corrupt-state``  -- a deterministic in-memory corruption is applied
+  to the running simulation's microarchitectural state at a configured
+  cycle (``cycle=N``, default :data:`DEFAULT_CORRUPT_CYCLE`),
+  exercising the ``REPRO_CHECK`` invariant sanitizer and the
+  checkpoint-replay auto-bisect.
 
-Options: ``seed=N`` (per-spec decision seed, default 0) and ``dur=F``
-(hang duration, seconds).
+Options: ``seed=N`` (per-spec decision seed, default 0), ``dur=F``
+(hang duration, seconds) and ``cycle=N`` (corrupt-state trigger cycle).
 
 Determinism contract -- what makes the chaos tests assert byte-identical
 recovery:
@@ -35,7 +40,7 @@ import hashlib
 import os
 import time
 
-FAULT_KINDS = ("crash", "hang", "corrupt-cache")
+FAULT_KINDS = ("crash", "hang", "corrupt-cache", "corrupt-state")
 
 ENV_FAULTS = "REPRO_FAULTS"
 
@@ -43,6 +48,10 @@ ENV_FAULTS = "REPRO_FAULTS"
 CRASH_EXIT_CODE = 87
 
 _DEFAULT_HANG_SECONDS = 5.0
+
+# cycle at which a ``corrupt-state`` fault fires when no ``cycle=N``
+# option overrides it
+DEFAULT_CORRUPT_CYCLE = 1000
 
 # garbage written in place of a real entry by ``corrupt-cache``
 CORRUPT_PAYLOAD = '{"v": 2, "sha": "deadbeef", "data": {"trunca'
@@ -53,25 +62,29 @@ class InjectedCrash(RuntimeError):
 
 
 class FaultSpec(object):
-    """One parsed fault: kind, probability, seed, optional duration."""
+    """One parsed fault: kind, probability, seed, optional duration or
+    trigger cycle."""
 
-    __slots__ = ("kind", "prob", "seed", "dur")
+    __slots__ = ("kind", "prob", "seed", "dur", "cycle")
 
-    def __init__(self, kind, prob, seed=0, dur=None):
+    def __init__(self, kind, prob, seed=0, dur=None, cycle=None):
         if kind not in FAULT_KINDS:
             raise ValueError("unknown fault kind %r (choose from %s)"
                              % (kind, ", ".join(FAULT_KINDS)))
         if not 0.0 <= prob <= 1.0:
             raise ValueError("fault probability must be in [0, 1], got %r"
                              % (prob,))
+        if cycle is not None and cycle < 1:
+            raise ValueError("fault cycle must be >= 1, got %r" % (cycle,))
         self.kind = kind
         self.prob = prob
         self.seed = seed
         self.dur = dur
+        self.cycle = cycle
 
     def __repr__(self):
-        return ("FaultSpec(kind=%r, prob=%r, seed=%r, dur=%r)"
-                % (self.kind, self.prob, self.seed, self.dur))
+        return ("FaultSpec(kind=%r, prob=%r, seed=%r, dur=%r, cycle=%r)"
+                % (self.kind, self.prob, self.seed, self.dur, self.cycle))
 
 
 def parse_faults(text):
@@ -108,9 +121,12 @@ def parse_faults(text):
                 options["seed"] = int(value)
             elif name == "dur":
                 options["dur"] = float(value)
+            elif name == "cycle":
+                options["cycle"] = int(value)
             else:
                 raise ValueError("unknown fault option %r in %r "
-                                 "(supported: seed, dur)" % (name, chunk))
+                                 "(supported: seed, dur, cycle)"
+                                 % (name, chunk))
         if kind in specs:
             raise ValueError("duplicate fault kind %r" % (kind,))
         specs[kind] = FaultSpec(kind, prob, **options)
@@ -128,6 +144,7 @@ class FaultPlan(object):
     def __init__(self, specs=None):
         self.specs = dict(specs or {})
         self._corrupted = set()
+        self._state_corrupted = set()
 
     @property
     def active(self):
@@ -170,6 +187,23 @@ class FaultPlan(object):
         self._corrupted.add(key)
         return CORRUPT_PAYLOAD
 
+    def corrupt_state_cycle(self, key, attempt=0):
+        """Cycle at which ``corrupt-state`` fires for this run, or None.
+
+        Fires only on a job's *first* attempt and at most once per *key*
+        per plan, so a retried/resumed job converges after detection
+        even when the retry lands in a different worker process.
+        """
+        if attempt != 0:
+            return None
+        spec = self.specs.get("corrupt-state")
+        if spec is None or key in self._state_corrupted \
+                or not self._fires("corrupt-state", key):
+            return None
+        self._state_corrupted.add(key)
+        return spec.cycle if spec.cycle is not None \
+            else DEFAULT_CORRUPT_CYCLE
+
     # -- injection actions ----------------------------------------------
 
     def inject_execution_faults(self, key, attempt=0):
@@ -188,6 +222,30 @@ class FaultPlan(object):
                 "injected crash fault for task %r (attempt %d)"
                 % (key, attempt)
             )
+
+
+def apply_state_corruption(system):
+    """Deterministically damage one system's microarchitectural state.
+
+    The damage is chosen to trip both sanitizer tiers:
+
+    * the L1D hit counter is bumped without an access, breaking the
+      ``hit-miss-partition`` invariant (caught by ``REPRO_CHECK=cheap``
+      and ``full``);
+    * a bogus line is planted in L1D set 0 under a block number that
+      maps to set 1, breaking ``tag-set-consistency`` (caught by the
+      exhaustive walk in ``REPRO_CHECK=full``).
+
+    Pure and deterministic: applying it to the same state always
+    produces the same corrupted state, so a checkpoint replay that
+    re-injects it reproduces the divergence cycle exactly.
+    """
+    from repro.memory.cache import Line
+
+    cache = system.hierarchy.l1d
+    cache.stats.hits += 1
+    bogus_block = (cache._set_mask + 1) | 1  # maps to set 1, planted in 0
+    cache.sets[0][bogus_block] = Line(cache._tick)
 
 
 def _in_worker_process():

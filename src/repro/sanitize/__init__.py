@@ -1,0 +1,35 @@
+"""Runtime invariant sanitizer and divergence auto-bisect.
+
+``REPRO_CHECK={off,cheap,full}`` selects the audit level (see
+:mod:`repro.sanitize.checks`); violations raise the structured
+:class:`SanitizerError`; :func:`sentinel_run` replays from the nearest
+checkpoint with per-cycle full checks to name the first bad cycle.
+"""
+
+from repro.sanitize.bisect import (
+    DivergenceReport,
+    bisect_first_bad_cycle,
+    sentinel_run,
+)
+from repro.sanitize.checks import (
+    CHEAP_INTERVAL,
+    ENV_CHECK,
+    FULL_INTERVAL,
+    MODES,
+    Sanitizer,
+    mode_from_env,
+)
+from repro.sanitize.errors import SanitizerError
+
+__all__ = [
+    "CHEAP_INTERVAL",
+    "DivergenceReport",
+    "ENV_CHECK",
+    "FULL_INTERVAL",
+    "MODES",
+    "Sanitizer",
+    "SanitizerError",
+    "bisect_first_bad_cycle",
+    "mode_from_env",
+    "sentinel_run",
+]

@@ -1,0 +1,39 @@
+"""Structured sanitizer failures.
+
+A :class:`SanitizerError` names the *component* whose invariant broke,
+the *invariant* label, the simulated *cycle* of the failing check, and
+(when a snapshot directory is configured) the path of the state snapshot
+dumped at detection time -- everything the auto-bisect and a human need
+to localise the corruption.
+"""
+
+
+class SanitizerError(RuntimeError):
+    """A runtime microarchitectural invariant was violated.
+
+    :param component: dotted component name (``"core"``, ``"mem.l1d"``,
+        ``"pf.bfetch.arf"``...).
+    :param invariant: short invariant label (``"hit-miss-partition"``).
+    :param detail: human-readable specifics of the violation.
+    :param cycle: simulated cycle of the failing check (None when the
+        check ran outside a simulation, e.g. on a loaded snapshot).
+    :param snapshot_path: file the offending state was dumped to, when a
+        snapshot directory is configured.
+    """
+
+    def __init__(self, component, invariant, detail="", cycle=None,
+                 snapshot_path=None):
+        parts = ["invariant %r violated in %s" % (invariant, component)]
+        if cycle is not None:
+            parts.append("at cycle %d" % cycle)
+        message = " ".join(parts)
+        if detail:
+            message += ": %s" % detail
+        if snapshot_path is not None:
+            message += " (state snapshot: %s)" % snapshot_path
+        super().__init__(message)
+        self.component = component
+        self.invariant = invariant
+        self.detail = detail
+        self.cycle = cycle
+        self.snapshot_path = snapshot_path

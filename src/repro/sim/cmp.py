@@ -7,12 +7,19 @@ when an application finishes its instruction budget it *keeps executing*
 (so contention pressure stays realistic) and only its first ``budget``
 instructions count toward its IPC; the simulation stops once every
 application has reached the budget.
+
+Checkpoint support mirrors the single-core :class:`~repro.sim.System`:
+the snapshot captures every per-core system (minus the shared LLC/DRAM,
+stored once at the top level) *plus* the scheduler's own state -- the
+event heap, per-core finish cycles and the instruction target -- so a
+resumed CMP run replays the exact interleaving of the original.
 """
 
 import heapq
 
+from repro.checkpoint import CheckpointError
 from repro.sim.config import SystemConfig
-from repro.sim.system import RunResult, System
+from repro.sim.system import _DEFAULT_CHUNK_CYCLES, RunResult, System
 
 _KEEP_RUNNING_FACTOR = 1000  # effectively "until the driver stops us"
 
@@ -38,20 +45,98 @@ class CMPSystem:
             for workload in workloads
         ]
 
-    def run(self, instructions_per_app):
+    def run(self, instructions_per_app, checkpointer=None, sanitizer=None,
+            interrupt=None, corrupt_at=None):
         """Run until every core retires *instructions_per_app*.
 
         Returns a list of per-core :class:`~repro.sim.RunResult` whose
         ``cycles`` is the cycle at which that core reached the budget.
+
+        The optional collaborators behave as in
+        :meth:`repro.sim.System.run`: an existing checkpoint is resumed,
+        state is re-saved every ``checkpointer.every`` cycles of shared
+        clock, sanitizer checks run at their cadence, and a tripped
+        *interrupt* saves + flushes before re-raising.  With none active
+        the original tight loop runs unchanged.
         """
         target = instructions_per_app
+        chunked = (
+            checkpointer is not None
+            or interrupt is not None
+            or corrupt_at is not None
+            or (sanitizer is not None and sanitizer.active)
+        )
         finish_cycle = [None] * self.num_cores
         remaining = self.num_cores
         heap = []
-        for index, system in enumerate(self.systems):
-            system.core.start(target * _KEEP_RUNNING_FACTOR)
-            heapq.heappush(heap, (0, index))
+        resumed = False
+        if checkpointer is not None:
+            loaded = checkpointer.load()
+            if loaded is not None:
+                state, _cycle = loaded
+                try:
+                    run_state = self.restore(state)
+                except CheckpointError:
+                    checkpointer.clear()
+                else:
+                    if run_state is not None \
+                            and run_state["target"] == target:
+                        heap = [tuple(entry)
+                                for entry in run_state["heap"]]
+                        finish_cycle = [
+                            None if cycle is None else int(cycle)
+                            for cycle in run_state["finish_cycle"]
+                        ]
+                        remaining = sum(1 for cycle in finish_cycle
+                                        if cycle is None)
+                        resumed = True
+                    else:
+                        checkpointer.clear()
+        if not resumed:
+            for index, system in enumerate(self.systems):
+                system.core.start(target * _KEEP_RUNNING_FACTOR)
+                heapq.heappush(heap, (0, index))
+        else:
+            for system in self.systems:
+                system.core.start(target * _KEEP_RUNNING_FACTOR)
+
+        chunk = _DEFAULT_CHUNK_CYCLES
+        if checkpointer is not None:
+            chunk = min(chunk, checkpointer.every)
+        if sanitizer is not None and sanitizer.active:
+            chunk = min(chunk, sanitizer.interval)
+        if corrupt_at is not None:
+            chunk = min(chunk, max(1, corrupt_at))
+        next_stop = (heap[0][0] + chunk) if (chunked and heap) else None
+        corrupted = False
         while remaining:
+            if chunked and heap[0][0] >= next_stop:
+                now = heap[0][0]
+                if corrupt_at is not None and not corrupted \
+                        and now >= corrupt_at:
+                    from repro.resilience.faults import (
+                        apply_state_corruption,
+                    )
+                    apply_state_corruption(self.systems[0])
+                    corrupted = True
+                if sanitizer is not None and sanitizer.active:
+                    for index, system in enumerate(self.systems):
+                        sanitizer.check_system(
+                            system, now, include_shared=(index == 0))
+                if checkpointer is not None and checkpointer.due(now):
+                    checkpointer.save(
+                        self._snapshot_run(target, heap, finish_cycle),
+                        now)
+                if interrupt is not None and interrupt:
+                    if checkpointer is not None:
+                        checkpointer.save(
+                            self._snapshot_run(target, heap, finish_cycle),
+                            now)
+                    for system in self.systems:
+                        if system.tracer is not None:
+                            system.tracer.flush()
+                    interrupt.raise_pending()
+                next_stop = now + chunk
             now, index = heapq.heappop(heap)
             core = self.systems[index].core
             next_time = core.step_cycle(now)
@@ -61,6 +146,8 @@ class CMPSystem:
                 if remaining == 0:
                     break
             heapq.heappush(heap, (next_time, index))
+        if checkpointer is not None:
+            checkpointer.clear()
 
         results = []
         for index, system in enumerate(self.systems):
@@ -75,3 +162,57 @@ class CMPSystem:
             core.cycle, core.retired = saved_cycle, saved_retired
             results.append(result)
         return results
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+
+    def fingerprint(self):
+        """Identity of this CMP assembly: per-core workloads + config."""
+        return {
+            "workloads": [system.workload.name for system in self.systems],
+            "config": list(self.config.key()),
+        }
+
+    def snapshot(self):
+        """Complete CMP state: every core (without the shared levels)
+        plus the shared LLC and DRAM exactly once."""
+        state = self.fingerprint()
+        state.update({
+            "cores": [system.snapshot(include_shared=False)
+                      for system in self.systems],
+            "llc": self.llc.snapshot(),
+            "dram": self.dram.snapshot(),
+        })
+        return state
+
+    def _snapshot_run(self, target, heap, finish_cycle):
+        """Snapshot plus the scheduler state needed to resume mid-run."""
+        state = self.snapshot()
+        state["run"] = {
+            "target": target,
+            "heap": [list(entry) for entry in heap],
+            "finish_cycle": list(finish_cycle),
+        }
+        return state
+
+    def restore(self, state):
+        """Restore CMP state from :meth:`snapshot` output.
+
+        Returns the embedded scheduler state (``state["run"]``) when the
+        snapshot was taken mid-run, else None.  Raises
+        :class:`~repro.checkpoint.CheckpointError` on a fingerprint
+        mismatch.
+        """
+        expected = self.fingerprint()
+        found = {"workloads": state.get("workloads"),
+                 "config": state.get("config")}
+        if found != expected:
+            raise CheckpointError(
+                "checkpoint fingerprint mismatch: saved %r, system is %r"
+                % (found, expected)
+            )
+        for system, core_state in zip(self.systems, state["cores"]):
+            system.restore(core_state)
+        self.llc.restore(state["llc"])
+        self.dram.restore(state["dram"])
+        return state.get("run")

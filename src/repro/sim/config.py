@@ -30,6 +30,8 @@ PREFETCHER_NAMES = (
     "isb", "stems",
 )
 
+PREDICTOR_NAMES = ("tournament", "perceptron")
+
 
 class SystemConfig:
     """Whole-system parameters (paper Table II defaults).
@@ -53,14 +55,29 @@ class SystemConfig:
         nextn_degree=4,
         branch_predictor="tournament",
     ):
-        if branch_predictor not in ("tournament", "perceptron"):
+        if branch_predictor not in PREDICTOR_NAMES:
             raise ValueError(
-                "unknown branch predictor %r" % (branch_predictor,)
+                "unknown branch predictor %r (choose from %s)"
+                % (branch_predictor, ", ".join(PREDICTOR_NAMES))
             )
         if prefetcher not in PREFETCHER_NAMES:
             raise ValueError(
                 "unknown prefetcher %r (choose from %s)"
                 % (prefetcher, ", ".join(PREFETCHER_NAMES))
+            )
+        # fail fast on nonsensical sizes instead of letting a zero-wide
+        # pipeline or a negative degree corrupt a run far downstream
+        for field, value in (("width", width),
+                             ("rob_entries", rob_entries),
+                             ("stride_degree", stride_degree),
+                             ("nextn_degree", nextn_degree)):
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(
+                    "%s must be a positive integer, got %r" % (field, value)
+                )
+        if not bp_scale > 0:
+            raise ValueError(
+                "bp_scale must be positive, got %r" % (bp_scale,)
             )
         self.width = width
         self.rob_entries = rob_entries

@@ -40,7 +40,13 @@ Environment knobs:
 * ``REPRO_RETRIES`` / ``REPRO_TASK_TIMEOUT`` / ``REPRO_ON_ERROR`` set
   the default :class:`~repro.resilience.FailurePolicy`;
 * ``REPRO_FAULTS`` activates the deterministic fault-injection harness
-  (chaos testing; see :mod:`repro.resilience.faults`).
+  (chaos testing; see :mod:`repro.resilience.faults`);
+* ``REPRO_CKPT_DIR`` / ``REPRO_CKPT_EVERY`` enable periodic simulation
+  checkpoints: an interrupted (SIGINT/SIGTERM/SIGKILL) run resumes from
+  the last checkpoint with byte-identical results (see
+  :mod:`repro.checkpoint`);
+* ``REPRO_CHECK`` turns on the runtime invariant sanitizer
+  (``cheap``/``full``; see :mod:`repro.sanitize`).
 
 Observability: every batch attaches a :class:`~repro.obs.Profiler` to its
 :class:`~repro.resilience.BatchReport` (``report.profile``) splitting the
@@ -74,6 +80,17 @@ from repro.resilience import (
 )
 from repro.obs import Profiler
 from repro.obs.io import atomic_write_text
+from repro.checkpoint import (
+    from_env as _checkpointer_from_env,
+    gc_stale_tmp,
+    signal_guard,
+)
+from repro.sanitize import Sanitizer
+from repro.resilience.envelope import (
+    payload_sha as _payload_sha,
+    unwrap_envelope,
+    wrap_envelope,
+)
 from repro.resilience.retry import backoff_delay
 from repro.sim.cmp import CMPSystem
 from repro.sim.config import SystemConfig
@@ -187,21 +204,35 @@ def _execute_single(benchmark, prefetcher, instructions, config, variant,
 
     *attempt*/*fault_key* feed the deterministic fault-injection harness
     (``REPRO_FAULTS``); they never influence the simulation itself.
+
+    When ``REPRO_CKPT_DIR`` and/or ``REPRO_CHECK`` are set the run goes
+    through the chunked :meth:`~repro.sim.System.run` path with a
+    per-job :class:`~repro.checkpoint.Checkpointer` (keyed on the job's
+    cache digest so resumes find their own checkpoint), a
+    :class:`~repro.sanitize.Sanitizer`, and a SIGINT/SIGTERM guard that
+    saves a final checkpoint and flushes traces before exiting.  A
+    ``corrupt-state`` fault deliberately damages the microarchitectural
+    state mid-run to exercise the sanitizer.
     """
+    if fault_key is None:
+        fault_key = repr((benchmark, prefetcher, instructions, variant))
     plan = get_fault_plan()
+    corrupt_at = None
     if plan.active:
-        if fault_key is None:
-            fault_key = repr((benchmark, prefetcher, instructions, variant))
         plan.inject_execution_faults(fault_key, attempt)
+        corrupt_at = plan.corrupt_state_cycle(fault_key, attempt)
     system = System(build_workload(benchmark, variant), config)
-    return system.run(instructions).as_dict()
-
-
-def _payload_sha(data):
-    """Content digest stored in (and verified against) cache envelopes."""
-    return hashlib.sha1(
-        json.dumps(data, sort_keys=True).encode()
-    ).hexdigest()[:16]
+    sanitizer = Sanitizer.from_env()
+    checkpointer = _checkpointer_from_env(
+        "single-%s" % hashlib.sha1(str(fault_key).encode()).hexdigest()[:16]
+    )
+    if checkpointer is None and sanitizer is None and corrupt_at is None:
+        return system.run(instructions).as_dict()
+    with signal_guard() as interrupt:
+        return system.run(
+            instructions, checkpointer=checkpointer, sanitizer=sanitizer,
+            interrupt=interrupt, corrupt_at=corrupt_at,
+        ).as_dict()
 
 
 class _Task(object):
@@ -246,6 +277,9 @@ class ExperimentRunner:
         self._memo = {}
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
+            # a crashed writer can leave ".tmp-*" droppings behind from
+            # interrupted atomic_write_text calls; sweep them on open
+            gc_stale_tmp(cache_dir)
 
     # ------------------------------------------------------------------
     # cache plumbing
@@ -297,23 +331,9 @@ class ExperimentRunner:
             raise CacheCorruption(
                 "unreadable cache entry %s: %s" % (path, exc), path=path
             )
-        if isinstance(data, dict) and {"v", "sha", "data"} <= data.keys():
-            if data["v"] != CACHE_VERSION:
-                raise CacheCorruption(
-                    "cache entry %s has envelope version %r (expected %r)"
-                    % (path, data["v"], CACHE_VERSION),
-                    path=path,
-                )
-            payload = data["data"]
-            if _payload_sha(payload) != data["sha"]:
-                raise CacheCorruption(
-                    "cache entry %s failed payload digest verification"
-                    % (path,),
-                    path=path,
-                )
-            return payload
-        # legacy bare entry (pre-envelope): trust it as-is
-        return data
+        # legacy bare entries (pre-envelope) are still trusted as-is
+        return unwrap_envelope(data, CACHE_VERSION, path=path,
+                               allow_bare=True)
 
     def _cached(self, path, memo_key=None, report=None):
         """Return the cached payload for *path*, or None.
@@ -361,11 +381,7 @@ class ExperimentRunner:
             self._memo[memo_key] = data
         if not path:
             return
-        text = json.dumps({
-            "v": CACHE_VERSION,
-            "sha": _payload_sha(data),
-            "data": data,
-        })
+        text = json.dumps(wrap_envelope(data, CACHE_VERSION))
         plan = get_fault_plan()
         if plan.active:
             garbage = plan.corrupt_payload(path)
@@ -777,7 +793,18 @@ class ExperimentRunner:
         if cached is not None:
             return [RunResult(dict(entry)) for entry in cached]
         cmp_system = CMPSystem([build_workload(name) for name in mix], config)
-        results = cmp_system.run(instructions)
+        sanitizer = Sanitizer.from_env()
+        checkpointer = _checkpointer_from_env("mix-%s" % memo_key[1][:16])
+        corrupt_at = get_fault_plan().corrupt_state_cycle(memo_key[1])
+        if checkpointer is None and sanitizer is None and corrupt_at is None:
+            results = cmp_system.run(instructions)
+        else:
+            with signal_guard() as interrupt:
+                results = cmp_system.run(
+                    instructions, checkpointer=checkpointer,
+                    sanitizer=sanitizer, interrupt=interrupt,
+                    corrupt_at=corrupt_at,
+                )
         self._save(path, [result.as_dict() for result in results], memo_key)
         return results
 

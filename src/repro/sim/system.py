@@ -17,11 +17,16 @@ is bound into the core, hierarchy and prefetcher at assembly time, and
 
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.confidence import CompositeConfidenceEstimator
+from repro.checkpoint import CheckpointError
 from repro.cpu.functional import Machine
 from repro.cpu.ooo import OutOfOrderCore
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.obs import StatsRegistry, Tracer
 from repro.sim.config import SystemConfig, make_prefetcher
+
+# chunk length for interrupt polling when neither a checkpointer nor a
+# sanitizer dictates a cadence
+_DEFAULT_CHUNK_CYCLES = 65536
 
 
 class RunResult:
@@ -240,16 +245,152 @@ class System:
             registry=registry, core_prefix=stats_prefix,
         )
 
-    def run(self, instructions):
+    def run(self, instructions, checkpointer=None, sanitizer=None,
+            interrupt=None, corrupt_at=None):
         """Run to completion of *instructions* and return a
         :class:`RunResult`.
 
         When a tracer with an output path is active, the buffered trace
         is flushed (atomically) after the run completes.
+
+        :param checkpointer: optional
+            :class:`~repro.checkpoint.Checkpointer`; an existing valid
+            checkpoint is resumed, the state is re-saved every
+            ``checkpointer.every`` cycles, and the checkpoint is cleared
+            on completion.
+        :param sanitizer: optional :class:`~repro.sanitize.Sanitizer`
+            whose invariant checks run at its configured cadence.
+        :param interrupt: optional
+            :class:`~repro.checkpoint.InterruptFlag`; when it trips, the
+            latest state is checkpointed, the trace is flushed, and the
+            deferred signal is re-raised.
+        :param corrupt_at: cycle at which a deterministic state
+            corruption is injected (``corrupt-state`` fault testing).
+
+        With none of the optional collaborators active this takes the
+        original tight ``core.run`` path -- checkpoint support costs
+        nothing when it is off.
         """
-        self.core.run(instructions)
+        chunked = (
+            checkpointer is not None
+            or interrupt is not None
+            or corrupt_at is not None
+            or (sanitizer is not None and sanitizer.active)
+        )
+        if not chunked:
+            self.core.run(instructions)
+        else:
+            self._run_chunked(instructions, checkpointer, sanitizer,
+                              interrupt, corrupt_at)
         if self.tracer is not None:
             self.tracer.flush()
         return RunResult.from_core(
             self.core, self.workload.name, self.config.prefetcher
         )
+
+    def _run_chunked(self, instructions, checkpointer, sanitizer,
+                     interrupt, corrupt_at):
+        """The checkpoint/sanitizer driver: the same ``step_cycle``
+        sequence as :meth:`OutOfOrderCore.run`, handing control back at
+        chunk boundaries.  Chunk boundaries only decide when snapshots,
+        checks and interrupt polls happen -- every simulated outcome is
+        byte-identical to the uninterrupted fast path."""
+        core = self.core
+        if checkpointer is not None:
+            loaded = checkpointer.load()
+            if loaded is not None:
+                state, _cycle = loaded
+                try:
+                    self.restore(state)
+                except CheckpointError:
+                    # stale checkpoint from another configuration: drop
+                    # it and start clean rather than resuming garbage
+                    checkpointer.clear()
+        core.start(instructions)
+        chunk = _DEFAULT_CHUNK_CYCLES
+        if checkpointer is not None:
+            chunk = min(chunk, checkpointer.every)
+        if sanitizer is not None and sanitizer.active:
+            chunk = min(chunk, sanitizer.interval)
+        if corrupt_at is not None:
+            chunk = min(chunk, max(1, corrupt_at))
+        now = core.cycle
+        corrupted = False
+        while not core.done:
+            now = core.run_until(now, now + chunk)
+            core.cycle = now
+            if corrupt_at is not None and not corrupted and now >= corrupt_at:
+                from repro.resilience.faults import apply_state_corruption
+                apply_state_corruption(self)
+                corrupted = True
+            if sanitizer is not None and sanitizer.active:
+                sanitizer.check_system(self, now)
+            if checkpointer is not None and not core.done \
+                    and checkpointer.due(now):
+                checkpointer.save(self.snapshot(), now)
+            if interrupt is not None and interrupt:
+                if checkpointer is not None and not core.done:
+                    checkpointer.save(self.snapshot(), now)
+                if self.tracer is not None:
+                    self.tracer.flush()
+                interrupt.raise_pending()
+        core.cycle = now
+        if checkpointer is not None:
+            checkpointer.clear()  # finished: a resume would be stale
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+
+    def fingerprint(self):
+        """Identity of this assembly: workload name + config key.
+
+        Stored inside every snapshot so a checkpoint can never be
+        restored into a differently-configured system.
+        """
+        return {
+            "workload": self.workload.name,
+            "config": list(self.config.key()),
+        }
+
+    def snapshot(self, include_shared=True):
+        """Complete simulation state as a JSON-safe structure.
+
+        :param include_shared: forwarded to
+            :meth:`~repro.memory.MemoryHierarchy.snapshot`; CMP systems
+            snapshot the shared LLC/DRAM once at the top level.
+        """
+        state = self.fingerprint()
+        state.update({
+            "machine": self.machine.snapshot(),
+            "core": self.core.snapshot(),
+            "predictor": self.predictor.snapshot(),
+            "confidence": self.confidence.snapshot(),
+            "btb": self.btb.snapshot(),
+            "prefetcher": self.prefetcher.snapshot(),
+            "hierarchy": self.hierarchy.snapshot(
+                include_shared=include_shared),
+        })
+        return state
+
+    def restore(self, state):
+        """Restore every component from :meth:`snapshot` output.
+
+        Raises :class:`~repro.checkpoint.CheckpointError` when the
+        snapshot's fingerprint (workload + config key) does not match
+        this system.
+        """
+        expected = self.fingerprint()
+        found = {"workload": state.get("workload"),
+                 "config": state.get("config")}
+        if found != expected:
+            raise CheckpointError(
+                "checkpoint fingerprint mismatch: saved %r, system is %r"
+                % (found, expected)
+            )
+        self.machine.restore(state["machine"])
+        self.core.restore(state["core"])
+        self.predictor.restore(state["predictor"])
+        self.confidence.restore(state["confidence"])
+        self.btb.restore(state["btb"])
+        self.prefetcher.restore(state["prefetcher"])
+        self.hierarchy.restore(state["hierarchy"])
