@@ -52,3 +52,19 @@ def test_cli_bench_perf_writes_json(tmp_path, capsys):
     with open(out) as handle:
         payload = json.load(handle)
     assert payload["schema"] == SCHEMA
+
+
+def test_bench_serve_smoke():
+    from repro.perf import bench_serve
+
+    serve = bench_serve(("gamess", "libquantum"), ("none",),
+                        instructions=2_000, clients=2, max_concurrent=1)
+    assert serve["jobs_per_phase"] == 2
+    assert serve["runs_computed"] == 2 and serve["cache_hits"] == 2
+    assert serve["uncached_seconds"] > 0 and serve["cached_seconds"] > 0
+    # the cached phase never simulates, so it must be the faster one
+    assert serve["cached_jobs_per_sec"] > serve["uncached_jobs_per_sec"]
+    for series in ("computed", "cached"):
+        block = serve["latency"][series]
+        assert block["count"] == 2
+        assert block["p50"] <= block["p95"]

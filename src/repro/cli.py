@@ -7,7 +7,14 @@ Commands
 ``compare``    one benchmark under several prefetchers (speedup table)
 ``mix``        a multiprogrammed mix on the shared-LLC CMP
 ``table1``     the Table I storage-overhead accounting
-``list``       available benchmarks and prefetchers
+``list``       available benchmarks and prefetchers (``--json`` for the
+               machine-readable catalog the job server also exposes)
+``serve``      long-lived job server (submit/status/result/cancel/stream
+               over length-prefixed JSON frames; see docs/serving.md)
+``submit``     submit a run or sweep to a running server and (by
+               default) wait for results, streaming progress
+``jobs``       list a server's jobs; ``--stats`` dumps its ``serve.*``
+               metrics registry
 ``bench-perf`` perf micro-harness (simulated instr/sec, BENCH_*.json)
 ``stats``      gem5-style hierarchical stats dump for one fresh run
 ``trace``      structured JSONL event trace for one fresh run
@@ -51,10 +58,10 @@ import sys
 from repro.analysis import overhead_table, render_table
 from repro.resilience import ON_ERROR_MODES, FailurePolicy
 from repro.sim import CMPSystem, ExperimentRunner, RunRequest, SystemConfig
+from repro.sim.catalog import catalog, render_catalog
 from repro.sim.config import PREFETCHER_NAMES
 from repro.sim.metrics import weighted_speedup
 from repro.workloads import BENCHMARKS, build_workload
-from repro.workloads.spec import PROFILES
 
 
 def _positive_int(text):
@@ -252,6 +259,8 @@ def cmd_bench_perf(args):
         jobs=args.jobs if args.jobs is not None else 4,
         label=args.label,
         policy=_make_policy(args),
+        serve=args.serve,
+        serve_instructions=args.serve_instructions,
     )
     print(render_summary(payload))
     if not args.no_write:
@@ -355,12 +364,152 @@ def cmd_check(args):
 
 
 def cmd_list(args):
-    print("benchmarks:")
-    for name in BENCHMARKS:
-        print("  %-12s (%s)" % (name, PROFILES[name].klass))
-    print("prefetchers:")
-    for name in PREFETCHER_NAMES:
-        print("  %s" % name)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(catalog(), indent=2, sort_keys=True))
+    else:
+        print(render_catalog())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serving
+
+
+def _add_server_address(parser):
+    from repro.serve.client import DEFAULT_PORT
+
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=_positive_int, default=DEFAULT_PORT,
+                        help="server port (default: %d)" % DEFAULT_PORT)
+
+
+def cmd_serve(args):
+    import asyncio
+    import signal
+
+    from repro.serve import JobServer
+
+    async def body():
+        server = JobServer(
+            host=args.host, port=args.port, cache_dir=args.cache_dir,
+            high_water=args.high_water, max_concurrent=args.max_concurrent,
+            batch_jobs=args.batch_jobs, policy=_make_policy(args),
+            max_instructions=args.max_instructions,
+            heartbeat_interval=args.heartbeat,
+            stats_path=args.stats_out, trace_path=args.trace_out,
+            drain_grace=args.drain_grace,
+        )
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def request_drain():
+            loop.create_task(server.drain())
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, request_drain)
+        host, port = server.address
+        # readiness line: scripts wait for this before submitting
+        print("serving on %s:%d" % (host, port), flush=True)
+        await server.wait_closed()
+        print("drained; bye", file=sys.stderr)
+
+    asyncio.run(body())
+    return 0
+
+
+def cmd_submit(args):
+    from repro.serve import ServeClient, ServeError
+
+    kwargs = {
+        "instructions": args.instructions, "variant": args.variant,
+        "priority": args.priority, "retries": args.retries,
+        "on_error": args.on_error, "task_timeout": args.task_timeout,
+    }
+    try:
+        with ServeClient(args.host, args.port) as client:
+            if len(args.benchmarks) == 1 and len(args.prefetchers) == 1:
+                ticket = client.submit(args.benchmarks[0],
+                                       args.prefetchers[0], **kwargs)
+            else:
+                ticket = client.submit_sweep(args.benchmarks,
+                                             args.prefetchers, **kwargs)
+            job_id = ticket["job_id"]
+            print("job %s%s (%d runs, queue depth %d)"
+                  % (job_id,
+                     " [coalesced]" if ticket.get("coalesced") else "",
+                     ticket.get("runs", 0), ticket.get("queue_depth", 0)),
+                  file=sys.stderr)
+            if args.no_wait:
+                print(job_id)
+                return 0
+            if args.stream:
+                for event in client.stream(job_id):
+                    fields = " ".join(
+                        "%s=%s" % (key, event[key])
+                        for key in ("done", "total", "elapsed", "error")
+                        if key in event
+                    )
+                    print("[%s] %s %s" % (job_id, event.get("ev"), fields),
+                          file=sys.stderr)
+            reply = client.result(job_id, wait=True)
+    except ServeError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    _print_submit_results(args, reply)
+    return 0
+
+
+def _print_submit_results(args, reply):
+    results = reply.get("result") or []
+    batch = reply.get("batch") or {}
+    requests = [(benchmark, prefetcher)
+                for benchmark in args.benchmarks
+                for prefetcher in args.prefetchers]
+    for (benchmark, prefetcher), result in zip(requests, results):
+        if result is None:
+            print("%-12s %-8s skipped" % (benchmark, prefetcher))
+            continue
+        ipc = result["instructions"] / max(1, result["cycles"])
+        print("%-12s %-8s ipc=%.4f cycles=%d"
+              % (benchmark, prefetcher, ipc, result["cycles"]))
+    if batch:
+        print("batch: %d cached, %d computed, %d retries, %d skipped"
+              % (batch.get("hits", 0), batch.get("misses", 0),
+                 batch.get("retries", 0), batch.get("skipped", 0)),
+              file=sys.stderr)
+
+
+def cmd_jobs(args):
+    from repro.serve import ServeClient, ServeError
+
+    try:
+        with ServeClient(args.host, args.port) as client:
+            if args.stats:
+                stats = client.statz()
+                for name in sorted(stats):
+                    print("%-40s %s" % (name, stats[name]))
+                return 0
+            reply = client.jobs(limit=args.limit)
+    except ServeError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    jobs = reply.get("jobs") or []
+    if not jobs:
+        print("no jobs")
+        return 0
+    print("%-8s %-10s %-6s %5s %9s %8s %s"
+          % ("JOB", "STATE", "KIND", "RUNS", "DONE", "CLIENTS", "AGE"))
+    for snap in jobs:
+        print("%-8s %-10s %-6s %5d %5d/%-3d %8d %6.1fs"
+              % (snap["job_id"], snap["state"], snap["kind"],
+                 snap["runs"], snap["done"], snap["runs"],
+                 snap["clients"], snap["age_seconds"]))
+    queued = reply.get("queued") or []
+    if queued:
+        print("queued order: %s" % ", ".join(queued), file=sys.stderr)
     return 0
 
 
@@ -427,6 +576,12 @@ def build_parser():
     bench.add_argument("--sweep-instructions", type=_positive_int,
                        default=10_000,
                        help="instruction budget per sweep run")
+    bench.add_argument("--serve", action="store_true",
+                       help="also bench job-server round trips "
+                            "(jobs/s, p50/p95, cached vs uncached)")
+    bench.add_argument("--serve-instructions", type=_positive_int,
+                       default=4_000,
+                       help="instruction budget per served job")
     bench.add_argument("-j", "--jobs", type=_positive_int, default=None,
                        help="worker processes for the parallel sweep pass")
     bench.add_argument("--label", default=None,
@@ -502,7 +657,79 @@ def build_parser():
     check.set_defaults(func=cmd_check)
 
     lister = sub.add_parser("list", help="list benchmarks and prefetchers")
+    lister.add_argument("--json", action="store_true",
+                        help="emit the machine-readable catalog "
+                             "(schema repro-catalog-v1) as JSON")
     lister.set_defaults(func=cmd_list)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the job server (submit/status/result/cancel/stream)",
+    )
+    _add_server_address(serve)
+    serve.add_argument("--cache-dir", default=None,
+                       help="result-cache directory shared by every job")
+    serve.add_argument("--high-water", type=_positive_int, default=64,
+                       help="admission-queue bound; submissions past it "
+                            "get a typed 'busy' error (default: 64)")
+    serve.add_argument("--max-concurrent", type=_positive_int, default=2,
+                       help="jobs executing simultaneously (default: 2)")
+    serve.add_argument("--batch-jobs", type=_positive_int, default=1,
+                       help="worker processes per job batch "
+                            "(default: 1 = in-thread serial)")
+    serve.add_argument("--max-instructions", type=_positive_int,
+                       default=10_000_000,
+                       help="per-run instruction budget cap")
+    serve.add_argument("--heartbeat", type=float, default=5.0,
+                       help="seconds between heartbeat events for running "
+                            "jobs; 0 disables (default: 5)")
+    serve.add_argument("--drain-grace", type=_positive_float, default=30.0,
+                       help="seconds a drain waits before cancelling "
+                            "still-running jobs (default: 30)")
+    serve.add_argument("--stats-out", default=None, metavar="PATH",
+                       help="write the serve.* stats registry here as "
+                            "JSON on drain")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a JSONL job-lifecycle trace here "
+                            "('serve' category)")
+    _add_resilience(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a run or sweep to a running job server",
+    )
+    submit.add_argument("benchmarks", nargs="+", choices=BENCHMARKS,
+                        metavar="benchmark",
+                        help="benchmark(s); several make a sweep")
+    submit.add_argument("--prefetchers", nargs="+", default=["none"],
+                        choices=PREFETCHER_NAMES,
+                        help="prefetcher(s); several make a sweep "
+                             "(default: none)")
+    submit.add_argument("-n", "--instructions", type=_positive_int,
+                        default=None,
+                        help="dynamic instructions per run "
+                             "(default: server default)")
+    submit.add_argument("--variant", type=int, default=0,
+                        help="workload variant seed (default: 0)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="queue priority, higher runs first "
+                             "(default: 0)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and exit without waiting")
+    submit.add_argument("--stream", action="store_true",
+                        help="print lifecycle events while waiting")
+    _add_server_address(submit)
+    _add_resilience(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    jobs = sub.add_parser("jobs", help="list a running server's jobs")
+    jobs.add_argument("--limit", type=_positive_int, default=50,
+                      help="job summaries to fetch (default: 50)")
+    jobs.add_argument("--stats", action="store_true",
+                      help="dump the server's serve.* metrics instead")
+    _add_server_address(jobs)
+    jobs.set_defaults(func=cmd_jobs)
     return parser
 
 

@@ -33,3 +33,44 @@ def atomic_write_text(path, text):
             pass
         raise
     return path
+
+
+def file_signature(stat_result):
+    """Identity triple for "is this still the file I read?" checks.
+
+    ``(st_ino, st_size, st_mtime_ns)`` changes whenever an atomic
+    ``os.replace`` lands a new file at the same path (the temp file has
+    a fresh inode), so comparing signatures detects a concurrent
+    rewrite.
+    """
+    return (stat_result.st_ino, stat_result.st_size,
+            stat_result.st_mtime_ns)
+
+
+def remove_if_unchanged(path, signature):
+    """Unlink *path* only if it still matches *signature*.
+
+    Used to discard a corrupt cache entry without racing a concurrent
+    writer: if another process has already replaced the entry with a
+    fresh (presumably valid) one, the replacement has a different
+    inode/mtime and is left alone.  A sub-microsecond TOCTOU window
+    remains between the stat and the unlink, but because every write is
+    a whole-file atomic replace the worst possible outcome is a lost
+    cache entry (recomputed on the next probe), never a corrupt or
+    partial read.
+
+    :returns: True when the file was removed.
+    """
+    if signature is None:
+        return False
+    try:
+        current = os.stat(path)
+    except OSError:
+        return False
+    if file_signature(current) != signature:
+        return False
+    try:
+        os.unlink(path)
+    except OSError:
+        return False
+    return True

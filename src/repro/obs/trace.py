@@ -30,7 +30,8 @@ Categories:
 * ``prefetch`` -- queue pushes and hierarchy issues;
 * ``cache``    -- demand fills and prefetch fills per level;
 * ``feedback`` -- prefetched-line outcomes (useful / late / useless);
-* ``branch``   -- conditional-branch predictions and mispredicts.
+* ``branch``   -- conditional-branch predictions and mispredicts;
+* ``serve``    -- job-server lifecycle (submit/start/progress/done).
 """
 
 import json
@@ -38,7 +39,7 @@ import os
 
 from repro.obs.io import atomic_write_text
 
-CATEGORIES = ("bfetch", "prefetch", "cache", "feedback", "branch")
+CATEGORIES = ("bfetch", "prefetch", "cache", "feedback", "branch", "serve")
 
 _REQUIRED_FIELDS = ("cat", "ev", "cycle")
 

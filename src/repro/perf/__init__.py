@@ -3,6 +3,7 @@
 from repro.perf.harness import (
     COMPONENTS,
     bench_component,
+    bench_serve,
     bench_sweep,
     default_output_dir,
     run_perf_suite,
@@ -12,6 +13,7 @@ from repro.perf.harness import (
 __all__ = [
     "COMPONENTS",
     "bench_component",
+    "bench_serve",
     "bench_sweep",
     "default_output_dir",
     "run_perf_suite",

@@ -11,7 +11,10 @@ Measures simulated-instructions-per-second for three components:
 
 plus an optional end-to-end *sweep* comparison that times a cold-cache
 Fig. 8-style batch serially and through the parallel
-:meth:`~repro.sim.ExperimentRunner.run_many` engine.
+:meth:`~repro.sim.ExperimentRunner.run_many` engine, and an optional
+*serve* round-trip bench that boots the job server on a background
+thread and measures jobs/s and p50/p95 latency for uncached (computed)
+vs cached submissions.
 
 Results are written as machine-readable ``BENCH_*.json`` files (schema
 ``repro-perf-v1``) under ``benchmarks/perf/`` so the repo accumulates a
@@ -125,15 +128,122 @@ def bench_sweep(benchmarks, prefetchers=SWEEP_PREFETCHERS,
     }
 
 
+def bench_serve(benchmarks=("libquantum", "mcf"),
+                prefetchers=("none", "bfetch"),
+                instructions=4_000, clients=4, max_concurrent=2):
+    """Job-server round-trip throughput: uncached vs cached phases.
+
+    Boots a :class:`~repro.serve.ServerThread` on an ephemeral port with a
+    fresh temporary cache, then drives it twice with *clients* concurrent
+    :class:`~repro.serve.ServeClient` threads, each submitting its
+    round-robin share of the ``len(benchmarks) x len(prefetchers)``
+    single-run jobs and blocking on the result:
+
+    * **uncached** -- the cold pass; every job simulates, so its latency
+      is dominated by compute and the jobs/s number measures the server's
+      end-to-end scheduling + execution path;
+    * **cached** -- the identical submissions again; every job is served
+      from the result cache in one probe pass, so its latency is pure
+      service overhead (framing, admission, cache probe, reply).
+
+    The gap between the two populations is the point of the split
+    ``serve.latency.{cached,computed}`` windows (DESIGN.md §8); this
+    bench records both, plus jobs/s per phase, straight from the server's
+    ``statz`` registry so the numbers shown here are the numbers the
+    server itself reports in production.
+    """
+    import threading
+
+    from repro.serve import ServeClient, ServerThread
+
+    pairs = [
+        (bench, prefetcher)
+        for bench in benchmarks
+        for prefetcher in prefetchers
+    ]
+
+    def drive(address):
+        """One phase: *clients* threads submit their share; returns secs."""
+        errors = []
+
+        def worker(idx):
+            try:
+                with ServeClient(address[0], address[1],
+                                 timeout=300.0) as conn:
+                    for j, (bench, prefetcher) in enumerate(pairs):
+                        if j % clients != idx:
+                            continue
+                        conn.run(bench, prefetcher,
+                                 instructions=instructions)
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(idx,))
+            for idx in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return time.perf_counter() - start
+
+    def latency_block(stats, series):
+        prefix = "serve.latency.%s." % series
+        return {
+            key[len(prefix):]: value
+            for key, value in stats.items()
+            if key.startswith(prefix)
+        }
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with ServerThread(cache_dir=cache_dir,
+                          max_concurrent=max_concurrent) as server:
+            uncached_seconds = drive(server.address)
+            cached_seconds = drive(server.address)
+            with ServeClient(server.address[0],
+                             server.address[1]) as conn:
+                stats = conn.statz()
+    jobs = len(pairs)
+    return {
+        "jobs_per_phase": jobs,
+        "benchmarks": list(benchmarks),
+        "prefetchers": list(prefetchers),
+        "instructions_per_run": instructions,
+        "clients": clients,
+        "max_concurrent": max_concurrent,
+        "uncached_seconds": uncached_seconds,
+        "cached_seconds": cached_seconds,
+        "uncached_jobs_per_sec": (
+            jobs / uncached_seconds if uncached_seconds else 0.0
+        ),
+        "cached_jobs_per_sec": (
+            jobs / cached_seconds if cached_seconds else 0.0
+        ),
+        "latency": {
+            "computed": latency_block(stats, "computed"),
+            "cached": latency_block(stats, "cached"),
+        },
+        "runs_computed": stats.get("serve.runs.computed"),
+        "cache_hits": stats.get("serve.runs.cache_hits"),
+    }
+
+
 def run_perf_suite(benchmark="libquantum", instructions=30_000,
                    sweep_benchmarks=None, sweep_instructions=10_000,
-                   jobs=4, label=None, policy=None):
+                   jobs=4, label=None, policy=None, serve=False,
+                   serve_instructions=4_000):
     """Run the component timings (and optional sweep); returns the payload.
 
     :param sweep_benchmarks: iterable of benchmark names to include in the
         serial-vs-parallel sweep comparison; None/empty skips the sweep.
     :param policy: optional :class:`~repro.resilience.FailurePolicy` for
         the sweep passes (retries/timeouts on flaky hosts).
+    :param serve: when true, also run :func:`bench_serve` and attach the
+        job-server round-trip numbers under the ``serve`` key.
     """
     payload = {
         "schema": SCHEMA,
@@ -156,6 +266,8 @@ def run_perf_suite(benchmark="libquantum", instructions=30_000,
             sweep_benchmarks, instructions=sweep_instructions, jobs=jobs,
             policy=policy,
         )
+    if serve:
+        payload["serve"] = bench_serve(instructions=serve_instructions)
     return payload
 
 
@@ -203,4 +315,20 @@ def render_summary(payload):
                sweep["parallel_seconds"], sweep["parallel_speedup"],
                sweep["results_identical"])
         )
+    serve = payload.get("serve")
+    if serve:
+        lines.append(
+            "  serve: %d jobs/phase  uncached %.2f jobs/s  "
+            "cached %.2f jobs/s"
+            % (serve["jobs_per_phase"], serve["uncached_jobs_per_sec"],
+               serve["cached_jobs_per_sec"])
+        )
+        for series in ("computed", "cached"):
+            block = serve["latency"].get(series) or {}
+            if block:
+                lines.append(
+                    "    latency.%-8s p50 %.4fs  p95 %.4fs  mean %.4fs"
+                    % (series, block.get("p50", 0.0),
+                       block.get("p95", 0.0), block.get("mean", 0.0))
+                )
     return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Simulation-as-a-service: async job server + stdlib client.
+
+The serve layer turns the repository's batch engine
+(:class:`~repro.sim.ExperimentRunner`) into a long-lived network
+service:
+
+* :class:`JobServer` -- asyncio TCP server speaking a length-prefixed
+  JSON frame protocol; validates submissions against the shared
+  catalog, coalesces identical in-flight requests, admits through a
+  bounded priority queue with backpressure, executes on a worker tier
+  and streams per-job lifecycle events.
+* :class:`ServeClient` -- pure-stdlib blocking client used by scripts,
+  tests and the ``repro submit`` / ``repro jobs`` CLI.
+* :class:`ServerThread` -- run a server on a background thread with
+  its own event loop (tests, benchmarks, notebooks).
+
+See ``docs/serving.md`` for a worked example.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import Job, JobTable
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import (
+    ERROR_CODES,
+    FrameDecoder,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+)
+from repro.serve.queue import AdmissionQueue, QueueFull
+from repro.serve.server import JobServer, ServerThread
+from repro.serve.workers import JobCancelled, WorkerTier
+
+__all__ = [
+    "AdmissionQueue",
+    "ERROR_CODES",
+    "FrameDecoder",
+    "Job",
+    "JobCancelled",
+    "JobServer",
+    "JobTable",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "QueueFull",
+    "ServeClient",
+    "ServeError",
+    "ServeMetrics",
+    "ServerThread",
+    "WorkerTier",
+    "decode_payload",
+    "encode_frame",
+]

@@ -1,0 +1,271 @@
+"""Pure-stdlib blocking client for the job server.
+
+No third-party dependencies, no asyncio: a :class:`ServeClient` is a
+plain TCP socket speaking the length-prefixed JSON frame protocol
+(:mod:`repro.serve.protocol`), suitable for scripts, notebooks and the
+``repro submit`` / ``repro jobs`` CLI.
+
+Request/reply calls share one connection (the protocol is strictly
+sequential per connection); :meth:`ServeClient.stream` opens a
+*dedicated* connection for its event feed so an abandoned generator
+can never desynchronise the main channel.
+
+Server-side typed errors (``busy``, ``bad-request``, ``unknown-job``,
+``shutting-down``, ...) are raised as :class:`ServeError` with the
+wire ``code`` preserved, so callers can implement backoff with a
+simple ``except ServeError as e: if e.code == "busy"``.
+
+Example::
+
+    from repro.serve import ServeClient
+
+    with ServeClient("127.0.0.1", 7861) as client:
+        ticket = client.submit_sweep(
+            ["libquantum", "mcf"], ["none", "stride", "bfetch"],
+            instructions=20_000,
+        )
+        for event in client.stream(ticket["job_id"]):
+            print(event["ev"], event.get("done"), event.get("total"))
+        reply = client.result(ticket["job_id"])
+        results = reply["result"]      # list of RunResult dicts
+"""
+
+import socket
+from collections import deque
+
+from repro.serve import protocol
+from repro.serve.protocol import FrameDecoder, ProtocolError
+
+DEFAULT_PORT = 7861
+
+
+class ServeError(Exception):
+    """A typed error reply (or protocol failure) from the server.
+
+    :ivar code: wire error code (see
+        :data:`repro.serve.protocol.ERROR_CODES`).
+    :ivar data: the full error frame payload.
+    """
+
+    def __init__(self, code, message, data=None):
+        super().__init__("%s: %s" % (code, message))
+        self.code = code
+        self.data = data or {}
+
+
+class ServeClient(object):
+    """Blocking client over one TCP connection (lazily opened).
+
+    :param timeout: socket timeout, seconds, for connect and for every
+        non-waiting call; waiting calls (``result(wait=True)``,
+        ``stream``) disable it for the blocking read.
+    """
+
+    def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, timeout=30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock = None
+        self._decoder = None
+        self._pending = deque()
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _connect(self):
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _ensure(self):
+        if self._sock is None:
+            self._sock = self._connect()
+            self._decoder = FrameDecoder(max_bytes=protocol.MAX_REPLY_BYTES)
+            self._pending = deque()
+        return self._sock
+
+    def close(self):
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._decoder = None
+                self._pending = deque()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def _request(self, message, wait=False):
+        """Send one frame, return the reply; raise :class:`ServeError`.
+
+        On any transport/protocol failure the connection is dropped so
+        the next call reconnects cleanly.
+        """
+        sock = self._ensure()
+        try:
+            sock.settimeout(None if wait else self.timeout)
+            protocol.send_frame(sock, message)
+            reply = protocol.recv_frame(sock, self._decoder, self._pending)
+        except ProtocolError as exc:
+            self.close()
+            raise ServeError(exc.code, str(exc))
+        except (OSError, socket.timeout) as exc:
+            self.close()
+            raise ServeError("connection", "server unreachable: %s" % exc)
+        if reply is None:
+            self.close()
+            raise ServeError("connection",
+                             "server closed the connection")
+        if reply.get("type") == "error":
+            raise ServeError(reply.get("code", "internal"),
+                             reply.get("message", ""), data=reply)
+        return reply
+
+    # ------------------------------------------------------------------
+    # endpoints
+
+    def ping(self):
+        return self._request({"type": "ping"})
+
+    def catalog(self):
+        """The server's benchmark/prefetcher catalog payload."""
+        return self._request({"type": "catalog"})["catalog"]
+
+    def statz(self):
+        """Flat ``{stat_name: value}`` server metrics dump."""
+        return self._request({"type": "statz"})["stats"]
+
+    def jobs(self, limit=50):
+        """Job summaries (newest first) plus the queued-id order."""
+        return self._request({"type": "jobs", "limit": limit})
+
+    def submit(self, benchmark, prefetcher="none", instructions=None,
+               variant=0, priority=0, retries=None, on_error=None,
+               task_timeout=None):
+        """Submit one single-run job; returns the submission ticket.
+
+        The ticket carries ``job_id`` and ``coalesced`` (True when this
+        submission deduplicated onto an already-live identical job).
+        """
+        message = {
+            "type": "submit", "kind": "single", "benchmark": benchmark,
+            "prefetcher": prefetcher, "variant": variant,
+            "priority": priority,
+        }
+        return self._submit(message, instructions, retries, on_error,
+                            task_timeout)
+
+    def submit_sweep(self, benchmarks, prefetchers, instructions=None,
+                     variant=0, priority=0, retries=None, on_error=None,
+                     task_timeout=None):
+        """Submit a ``benchmarks x prefetchers`` sweep as one job."""
+        message = {
+            "type": "submit", "kind": "sweep",
+            "benchmarks": list(benchmarks),
+            "prefetchers": list(prefetchers),
+            "variant": variant, "priority": priority,
+        }
+        return self._submit(message, instructions, retries, on_error,
+                            task_timeout)
+
+    def _submit(self, message, instructions, retries, on_error,
+                task_timeout):
+        if instructions is not None:
+            message["instructions"] = instructions
+        if retries is not None:
+            message["retries"] = retries
+        if on_error is not None:
+            message["on_error"] = on_error
+        if task_timeout is not None:
+            message["task_timeout"] = task_timeout
+        return self._request(message)
+
+    def status(self, job_id):
+        return self._request({"type": "status", "job_id": job_id})
+
+    def result(self, job_id, wait=True):
+        """Fetch a job's outcome; with ``wait`` blocks until terminal.
+
+        :returns: the result reply -- ``reply["state"]`` is the terminal
+            state; for ``done`` jobs ``reply["result"]`` is the list of
+            per-run result dicts (request order) and ``reply["batch"]``
+            the batch report.
+        :raises ServeError: with the job's structured error as ``data``
+            when the job failed.
+        """
+        reply = self._request({"type": "result", "job_id": job_id,
+                               "wait": bool(wait)}, wait=wait)
+        if reply.get("state") == "failed":
+            error = reply.get("error") or {}
+            raise ServeError(error.get("code", "simulation-error"),
+                             error.get("message", "job failed"),
+                             data=reply)
+        return reply
+
+    def cancel(self, job_id):
+        """Cancel a queued/running job; typed error if already terminal."""
+        return self._request({"type": "cancel", "job_id": job_id})
+
+    def stream(self, job_id):
+        """Generator of lifecycle events for *job_id* until terminal.
+
+        Opens its own connection; the generator ends after the terminal
+        event (``done`` / ``failed`` / ``cancelled``).  Closing the
+        generator early just drops that connection -- the server
+        unsubscribes on disconnect.
+        """
+        sock = self._connect()
+        decoder = FrameDecoder(max_bytes=protocol.MAX_REPLY_BYTES)
+        pending = deque()
+        try:
+            sock.settimeout(None)
+            protocol.send_frame(sock, {"type": "stream", "job_id": job_id})
+            start = protocol.recv_frame(sock, decoder, pending)
+            if start is None:
+                raise ServeError("connection",
+                                 "server closed the stream")
+            if start.get("type") == "error":
+                raise ServeError(start.get("code", "internal"),
+                                 start.get("message", ""), data=start)
+            while True:
+                event = protocol.recv_frame(sock, decoder, pending)
+                if event is None:
+                    return
+                yield event
+                if event.get("ev") in ("done", "failed", "cancelled"):
+                    return
+        except ProtocolError as exc:
+            raise ServeError(exc.code, str(exc))
+        finally:
+            sock.close()
+
+    # ------------------------------------------------------------------
+    # conveniences
+
+    def run(self, benchmark, prefetcher="none", instructions=None,
+            variant=0, **kwargs):
+        """Submit one run and block for its result dict."""
+        ticket = self.submit(benchmark, prefetcher, instructions,
+                             variant=variant, **kwargs)
+        reply = self.result(ticket["job_id"], wait=True)
+        return reply["result"][0]
+
+    def wait_until_up(self, attempts=50, delay=0.1):
+        """Poll ``ping`` until the server answers (startup scripts)."""
+        import time as _time
+
+        last = None
+        for _ in range(attempts):
+            try:
+                return self.ping()
+            except ServeError as exc:
+                last = exc
+                _time.sleep(delay)
+        raise last

@@ -1,0 +1,106 @@
+"""Bounded priority admission queue with backpressure.
+
+Admission control is the server's first line of defence: past a
+configurable *high-water mark* of queued jobs, :meth:`AdmissionQueue.push`
+raises :class:`QueueFull` and the server answers the submission with a
+typed ``busy`` error (the JSON-line protocol's analogue of HTTP 429)
+instead of buffering without bound.  Clients are expected to back off
+and retry; the error carries the current depth so they can be smart
+about it.
+
+Ordering: a binary heap on ``(-priority, seq)`` -- higher ``priority``
+submissions pop first, ties broken FIFO by admission sequence so equal
+-priority traffic is served fairly.  Cancellation is *lazy*: cancelling
+a queued job flips its state and decrements the live count immediately
+(freeing admission capacity), while the heap entry is skipped when it
+eventually surfaces -- O(1) cancel, no heap surgery.
+
+The queue is asyncio-native: :meth:`pop` awaits the next live job and
+is woken by pushes; :meth:`close` wakes all waiters with ``None`` so
+the dispatcher can exit during drain.
+"""
+
+import asyncio
+import heapq
+import itertools
+
+
+class QueueFull(Exception):
+    """Admission rejected: the queue is at its high-water mark."""
+
+    def __init__(self, depth, high_water):
+        super().__init__(
+            "admission queue is full (%d queued >= high-water %d)"
+            % (depth, high_water)
+        )
+        self.depth = depth
+        self.high_water = high_water
+
+
+class AdmissionQueue(object):
+    """Bounded priority queue of :class:`~repro.serve.jobs.Job`.
+
+    :param high_water: maximum number of *live* queued jobs; pushes at
+        or beyond this depth raise :class:`QueueFull`.
+    """
+
+    def __init__(self, high_water=64):
+        if high_water < 1:
+            raise ValueError("high_water must be >= 1, got %r"
+                             % (high_water,))
+        self.high_water = high_water
+        self._heap = []                  # (-priority, seq, job)
+        self._seq = itertools.count()
+        self._live = 0                   # queued jobs not yet popped/cancelled
+        self._woken = asyncio.Event()
+        self._closed = False
+
+    def __len__(self):
+        """Live queued depth (excludes lazily-cancelled entries)."""
+        return self._live
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def push(self, job):
+        """Admit *job*; raises :class:`QueueFull` past the high-water mark."""
+        if self._live >= self.high_water:
+            raise QueueFull(self._live, self.high_water)
+        heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+        self._live += 1
+        self._woken.set()
+        return self._live
+
+    def discard(self, job):
+        """Account for a queued job cancelled out-of-band (lazy removal).
+
+        The heap entry stays put and is skipped at pop time; the live
+        count (which gates admission) drops immediately.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    async def pop(self):
+        """Await and return the next live job; ``None`` once closed+empty."""
+        while True:
+            while self._heap:
+                _neg_priority, _seq, job = heapq.heappop(self._heap)
+                if job.state != "queued" or job.cancel_requested:
+                    continue  # lazily-cancelled entry
+                self._live -= 1
+                return job
+            if self._closed:
+                return None
+            self._woken.clear()
+            await self._woken.wait()
+
+    def close(self):
+        """Stop the queue: wake every waiter so ``pop`` can return None."""
+        self._closed = True
+        self._woken.set()
+
+    def snapshot(self):
+        """Queued job ids in pop order (diagnostics/``jobs`` listing)."""
+        entries = sorted(self._heap)
+        return [job.id for _p, _s, job in entries if job.state == "queued"]

@@ -1,0 +1,116 @@
+"""Worker tier: executes jobs on the fault-tolerant batch engine.
+
+One :class:`WorkerTier` owns a small thread pool; each admitted job
+occupies one thread for the duration of one
+:meth:`~repro.sim.ExperimentRunner.run_batch` call.  The heavy lifting
+-- process-pool fan-out, per-task retries with deterministic backoff,
+hung-task timeouts, broken-pool rebuilds, serial degradation,
+save-as-completed checkpointing into the shared result cache -- is the
+batch engine's existing machinery; the tier adds only the asyncio
+bridging:
+
+* the event loop awaits ``run_in_executor`` so the server keeps
+  serving status/stream/statz traffic while simulations run;
+* the batch engine's ``progress`` callback is trampolined back onto the
+  loop (``call_soon_threadsafe``) to fan out per-job progress events to
+  streaming subscribers;
+* the same callback implements **cooperative cancellation**: when a
+  job's ``cancel_requested`` flag is up, the next progress tick raises
+  :class:`JobCancelled` inside the batch, aborting at a task boundary.
+  Everything already computed is persisted (the cache is the
+  checkpoint), so a cancelled-then-resubmitted job resumes instead of
+  restarting.
+
+A worker crash (``REPRO_FAULTS`` or a real segfault) never reaches the
+server loop as anything but a structured
+:class:`~repro.resilience.SimulationError` -- the server stays up and
+the job is marked failed.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.resilience import FailurePolicy
+
+
+class JobCancelled(Exception):
+    """Raised inside a batch to abort a cancelled job at a task boundary."""
+
+
+class WorkerTier(object):
+    """Thread-pool bridge between the asyncio loop and the batch engine.
+
+    :param runner: shared :class:`~repro.sim.ExperimentRunner` (its disk
+        cache and in-memory memo deduplicate across jobs).
+    :param max_concurrent: jobs executing simultaneously; additional
+        admitted jobs wait in the dispatcher.
+    :param batch_jobs: worker processes per batch (``1`` = in-thread
+        serial execution -- the safe default for a server process; raise
+        it to fan each sweep out over a process pool).
+    :param policy: default :class:`~repro.resilience.FailurePolicy`;
+        per-job overrides (``retries`` / ``on_error`` / ``task_timeout``
+        in the submission spec) are layered on top.
+    """
+
+    def __init__(self, runner, max_concurrent=2, batch_jobs=1, policy=None):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1, got %r"
+                             % (max_concurrent,))
+        if batch_jobs < 1:
+            raise ValueError("batch_jobs must be >= 1, got %r"
+                             % (batch_jobs,))
+        self.runner = runner
+        self.max_concurrent = max_concurrent
+        self.batch_jobs = batch_jobs
+        self.policy = policy
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrent, thread_name_prefix="serve-worker"
+        )
+
+    def job_policy(self, job):
+        """The effective :class:`FailurePolicy` for *job*.
+
+        Starts from the tier default (or the ``REPRO_*`` environment)
+        and applies any validated per-job overrides from the submission
+        spec.
+        """
+        base = self.policy
+        if base is None:
+            base = FailurePolicy.from_env()
+        overrides = job.spec.get("policy") or {}
+        if overrides:
+            from dataclasses import replace
+
+            base = replace(base, **overrides)
+        return base
+
+    async def run_job(self, loop, job, progress_cb=None):
+        """Execute *job*; returns ``(results, report)`` dicts.
+
+        *progress_cb(job, done, total)* is invoked on the event loop
+        after every resolved slot.  Raises :class:`JobCancelled` when
+        the job's cancel flag interrupts the batch; any simulation
+        failure propagates as the batch engine's structured error.
+        """
+        policy = self.job_policy(job)
+
+        def progress(done, total):
+            if job.cancel_requested:
+                raise JobCancelled(job.id)
+            if progress_cb is not None:
+                loop.call_soon_threadsafe(progress_cb, job, done, total)
+
+        def body():
+            results, report = self.runner.run_batch(
+                job.requests, jobs=self.batch_jobs, policy=policy,
+                progress=progress,
+            )
+            payload = [
+                None if result is None else result.as_dict()
+                for result in results
+            ]
+            return payload, report.as_dict()
+
+        return await loop.run_in_executor(self._executor, body)
+
+    def shutdown(self, wait=True):
+        self._executor.shutdown(wait=wait)

@@ -5,8 +5,10 @@ from repro.sim.system import RunResult, System
 from repro.sim.cmp import CMPSystem
 from repro.sim.metrics import geomean, normalize, weighted_speedup
 from repro.sim.runner import ExperimentRunner, RunRequest, default_jobs, scaled
+from repro.sim.catalog import catalog
 
 __all__ = [
+    "catalog",
     "SystemConfig",
     "make_prefetcher",
     "System",

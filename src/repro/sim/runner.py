@@ -79,7 +79,7 @@ from repro.resilience import (
     get_fault_plan,
 )
 from repro.obs import Profiler
-from repro.obs.io import atomic_write_text
+from repro.obs.io import atomic_write_text, file_signature, remove_if_unchanged
 from repro.checkpoint import (
     from_env as _checkpointer_from_env,
     gc_stale_tmp,
@@ -253,6 +253,30 @@ class _Task(object):
         return RunRequest(*self.job)
 
 
+class _ProgressTracker(object):
+    """Counts filled result slots and forwards them to a callback.
+
+    The callback signature is ``fn(done, total)`` where *done* is the
+    cumulative number of result slots resolved so far (cache hits,
+    completed computes, and skipped failures all count -- duplicates of
+    one compute resolve together) and *total* is the batch size.  An
+    exception raised by the callback deliberately aborts the batch:
+    :mod:`repro.serve` uses this to cancel a running job at the next
+    task boundary, losing nothing already persisted to the cache.
+    """
+
+    __slots__ = ("fn", "done", "total")
+
+    def __init__(self, fn, total):
+        self.fn = fn
+        self.done = 0
+        self.total = total
+
+    def advance(self, slots):
+        self.done += slots
+        self.fn(self.done, self.total)
+
+
 class ExperimentRunner:
     """Runs simulations with on-disk + in-memory memoisation.
 
@@ -311,6 +335,20 @@ class ExperimentRunner:
         cache_dir too."""
         return (kind, self._digest(kind, payload))
 
+    def request_digest(self, request):
+        """Stable cache digest identifying one single-run request.
+
+        Two requests with the same digest are guaranteed to share a
+        cache entry (and therefore to coalesce inside one batch); the
+        job server uses this to deduplicate identical submissions
+        across *different* batches too.
+        """
+        job = self._resolve_request(request)
+        benchmark, prefetcher, instructions, config, variant = job
+        payload = self._single_payload(benchmark, instructions, config,
+                                       variant)
+        return self._digest("single", payload)
+
     def _load_entry(self, path):
         """Read and verify one cache entry; returns the inner payload.
 
@@ -342,7 +380,12 @@ class ExperimentRunner:
         re-reading and re-parsing JSON).  A corrupt, tampered or
         unreadable disk entry is discarded -- the run is recomputed
         rather than crashing the sweep -- and counted on *report* when
-        one is supplied.
+        one is supplied.  The discard is *guarded*: the entry's stat
+        signature is captured before the read and the unlink only
+        happens if the file is still that same file
+        (:func:`~repro.obs.io.remove_if_unchanged`), so a concurrent
+        writer that has just replaced the entry with a fresh valid one
+        never loses its write to our stale corruption verdict.
         """
         if memo_key is not None:
             hit = self._memo.get(memo_key)
@@ -351,16 +394,17 @@ class ExperimentRunner:
         if not path:
             return None
         try:
+            signature = file_signature(os.stat(path))
+        except OSError:
+            signature = None
+        try:
             data = self._load_entry(path)
         except FileNotFoundError:
             return None
         except CacheCorruption:
             if report is not None:
                 report.cache_corruptions += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            remove_if_unchanged(path, signature)
             return None
         if memo_key is not None:
             self._memo[memo_key] = data
@@ -458,7 +502,25 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # parallel batch API
 
-    def run_many(self, requests, jobs=None, policy=None):
+    def run_many(self, requests, jobs=None, policy=None, progress=None):
+        """Run a batch of independent single-core jobs, in parallel.
+
+        Thin wrapper over :meth:`run_batch` that keeps the historical
+        interface: returns only the result list and stores the batch's
+        :class:`~repro.resilience.BatchReport` on :attr:`last_report`.
+        Callers running batches concurrently from several threads (the
+        job server's worker tier) should use :meth:`run_batch` directly
+        -- ``last_report`` is a single attribute and concurrent batches
+        overwrite it.
+        """
+        results, _ = self.run_batch(
+            requests, jobs=jobs, policy=policy, progress=progress,
+            report_sink=lambda report: setattr(self, "last_report", report),
+        )
+        return results
+
+    def run_batch(self, requests, jobs=None, policy=None, progress=None,
+                  report_sink=None):
         """Run a batch of independent single-core jobs, in parallel.
 
         :param requests: iterable of :class:`RunRequest` (or tuples with
@@ -467,13 +529,29 @@ class ExperimentRunner:
             then ``REPRO_JOBS``, then ``os.cpu_count()``.
         :param policy: :class:`~repro.resilience.FailurePolicy` override
             for this batch.
-        :returns: list of :class:`~repro.sim.RunResult` in *request
-            order* -- scheduling is cache-aware (hits are served from the
+        :param progress: optional ``fn(done, total)`` callback invoked
+            (from the calling thread) whenever result slots resolve --
+            once after the cache-probe pass with the hit count, then
+            after every completed or skipped compute.  An exception
+            raised by the callback aborts the batch at that task
+            boundary (everything already completed stays cached); the
+            job server uses this for cooperative cancellation.
+        :param report_sink: optional callable receiving the batch's
+            :class:`~repro.resilience.BatchReport` as soon as it is
+            created (before any work runs).  The report is mutated in
+            place, so the caller keeps a view of the partial counters --
+            including the recorded failure -- even when the batch raises
+            (:meth:`run_many` uses this to keep ``last_report`` accurate
+            on error paths).
+        :returns: ``(results, report)`` where *results* is a list of
+            :class:`~repro.sim.RunResult` in *request order* --
+            scheduling is cache-aware (hits are served from the
             memo/disk without touching the pool; duplicate requests are
             simulated once) but the output ordering is deterministic and
             byte-identical to running each request serially.  Under
             ``on_error="skip"``, a slot whose job ultimately failed holds
-            ``None``.
+            ``None``.  *report* is the batch's
+            :class:`~repro.resilience.BatchReport`.
 
         Fault tolerance: every miss is persisted to the cache the moment
         it finishes, so a later failure or an interrupt loses at most the
@@ -482,14 +560,21 @@ class ExperimentRunner:
         broken pool is rebuilt up to ``policy.max_pool_rebuilds`` times
         and then the batch degrades to in-process serial execution.
         ``KeyboardInterrupt`` shuts the pool down (cancelling queued
-        futures) and re-raises.  :attr:`last_report` holds the batch's
-        :class:`~repro.resilience.BatchReport` afterwards.
+        futures) and re-raises.
+
+        This method is safe to call concurrently from multiple threads
+        of one process: each call owns its report, profiler, pool and
+        scheduling state, and the shared memo/disk cache is written
+        atomically (last identical write wins).
         """
         resolved = [self._resolve_request(request) for request in requests]
         policy = self._resolve_policy(policy)
         report = BatchReport(total=len(resolved))
         report.profile = profiler = Profiler()
-        self.last_report = report
+        if report_sink is not None:
+            report_sink(report)
+        tracker = (_ProgressTracker(progress, len(resolved))
+                   if progress is not None else None)
         results = [None] * len(resolved)
 
         # cache probe pass: serve hits, group misses by identity
@@ -514,8 +599,10 @@ class ExperimentRunner:
                     task.indices.append(index)
 
         report.misses = len(miss_groups)
+        if tracker is not None:
+            tracker.advance(report.hits)
         if not miss_groups:
-            return results
+            return results, report
 
         if jobs is None:
             jobs = self.jobs
@@ -535,21 +622,23 @@ class ExperimentRunner:
         simulated = sum(task.job[2] for task in tasks)
         with profiler.section("execute", items=simulated):
             if jobs == 1:
-                self._run_serial(tasks, results, report, policy)
+                self._run_serial(tasks, results, report, policy, tracker)
             else:
-                self._run_pool(tasks, results, report, policy, jobs)
-        return results
+                self._run_pool(tasks, results, report, policy, jobs, tracker)
+        return results, report
 
     # -- batch internals ------------------------------------------------
 
-    def _complete(self, task, data, results, report):
+    def _complete(self, task, data, results, report, tracker=None):
         """Persist one finished miss immediately (save-as-completed)."""
         self._save(task.path, data, task.memo_key)
         for index in task.indices:
             results[index] = RunResult(dict(data))
+        if tracker is not None:
+            tracker.advance(len(task.indices))
 
     def _finalize_failure(self, task, error, results, report, policy,
-                          allow_serial=True):
+                          allow_serial=True, tracker=None):
         """A task exhausted its retry budget: apply ``policy.on_error``."""
         error.request = task.request
         error.attempts = task.attempts
@@ -569,16 +658,18 @@ class ExperimentRunner:
                 )
                 report.record_failure(final)
                 raise final from exc
-            self._complete(task, data, results, report)
+            self._complete(task, data, results, report, tracker)
             return
         if policy.on_error == "skip":
             report.skipped += 1
             report.record_failure(error)
+            if tracker is not None:
+                tracker.advance(len(task.indices))
             return
         report.record_failure(error)
         raise error
 
-    def _run_serial(self, tasks, results, report, policy):
+    def _run_serial(self, tasks, results, report, policy, tracker=None):
         """In-process execution path (``jobs=1`` and pool degradation).
 
         Still retries per the policy (an injected or transient fault is
@@ -604,12 +695,13 @@ class ExperimentRunner:
                 report.errors += 1
                 task.attempts += policy.retries + 1
                 self._finalize_failure(task, error, results, report,
-                                       policy, allow_serial=False)
+                                       policy, allow_serial=False,
+                                       tracker=tracker)
                 continue
             task.attempts += made
-            self._complete(task, data, results, report)
+            self._complete(task, data, results, report, tracker)
 
-    def _run_pool(self, tasks, results, report, policy, jobs):
+    def _run_pool(self, tasks, results, report, policy, jobs, tracker=None):
         """Process-pool execution with retries, timeouts and rebuilds.
 
         Structure: a ready ``queue``, a ``retry_heap`` of
@@ -638,7 +730,8 @@ class ExperimentRunner:
                 delay = backoff_delay(policy, task.key, task.attempts - 1)
                 heapq.heappush(retry_heap, (now + delay, next(seq), task))
             else:
-                self._finalize_failure(task, error, results, report, policy)
+                self._finalize_failure(task, error, results, report, policy,
+                                       tracker=tracker)
 
         try:
             while queue or retry_heap or pending:
@@ -694,7 +787,8 @@ class ExperimentRunner:
                                 ),
                             ), now)
                         else:
-                            self._complete(task, data, results, report)
+                            self._complete(task, data, results, report,
+                                           tracker)
                     if policy.task_timeout is not None:
                         overdue = [
                             future
@@ -735,7 +829,8 @@ class ExperimentRunner:
                         while retry_heap:
                             remaining.append(heapq.heappop(retry_heap)[2])
                         report.degradations += len(remaining)
-                        self._run_serial(remaining, results, report, policy)
+                        self._run_serial(remaining, results, report, policy,
+                                         tracker)
                         return
                     pool = ProcessPoolExecutor(max_workers=jobs)
         finally:

@@ -1,0 +1,249 @@
+"""Wire-protocol conformance and abuse-path coverage.
+
+Two layers:
+
+* sans-IO :class:`repro.serve.protocol.FrameDecoder` unit tests --
+  split/glued frames, hostile declared lengths, malformed payloads;
+* live-server abuse tests over raw sockets -- every misbehaving peer
+  gets a typed error frame (or a silent close where the stream cannot
+  be resynced) and the server keeps serving everyone else.
+"""
+
+import socket
+import struct
+from collections import deque
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import (
+    ERROR_CODES,
+    FrameDecoder,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    error_message,
+)
+from repro.serve.server import ServerThread
+
+# ----------------------------------------------------------------------
+# sans-IO decoder
+
+
+class TestFrameDecoder(object):
+    def test_roundtrip_single_frame(self):
+        decoder = FrameDecoder()
+        message = {"type": "ping", "n": 3, "nested": {"a": [1, 2]}}
+        assert decoder.feed(encode_frame(message)) == [message]
+        assert decoder.pending_bytes == 0
+
+    def test_byte_at_a_time(self):
+        decoder = FrameDecoder()
+        frame = encode_frame({"type": "ping"})
+        seen = []
+        for index in range(len(frame)):
+            seen.extend(decoder.feed(frame[index:index + 1]))
+        assert seen == [{"type": "ping"}]
+
+    def test_glued_frames_one_chunk(self):
+        decoder = FrameDecoder()
+        frames = [{"type": "a"}, {"type": "b"}, {"type": "c"}]
+        blob = b"".join(encode_frame(m) for m in frames)
+        assert decoder.feed(blob) == frames
+
+    def test_frame_split_across_chunks(self):
+        decoder = FrameDecoder()
+        blob = encode_frame({"type": "x", "pad": "y" * 100})
+        assert decoder.feed(blob[:30]) == []
+        assert decoder.pending_bytes > 0
+        assert decoder.feed(blob[30:]) == [{"type": "x", "pad": "y" * 100}]
+
+    def test_oversized_declared_length_rejected_early(self):
+        """A hostile 4 GiB header costs 4 bytes, not 4 GiB of buffer."""
+        decoder = FrameDecoder(max_bytes=1024)
+        header = struct.pack(">I", 1 << 31)
+        with pytest.raises(ProtocolError) as info:
+            decoder.feed(header)  # no body bytes needed to reject
+        assert info.value.code == "too-large"
+
+    def test_bad_json_payload(self):
+        decoder = FrameDecoder()
+        payload = b"{not json"
+        with pytest.raises(ProtocolError) as info:
+            decoder.feed(struct.pack(">I", len(payload)) + payload)
+        assert info.value.code == "bad-json"
+
+    def test_non_object_payload(self):
+        with pytest.raises(ProtocolError) as info:
+            decode_payload(b"[1,2,3]")
+        assert info.value.code == "bad-frame"
+
+    def test_missing_type_field(self):
+        with pytest.raises(ProtocolError) as info:
+            decode_payload(b'{"nope": 1}')
+        assert info.value.code == "bad-frame"
+
+    def test_non_string_type_field(self):
+        with pytest.raises(ProtocolError) as info:
+            decode_payload(b'{"type": 7}')
+        assert info.value.code == "bad-frame"
+
+
+class TestEncode(object):
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame([1, 2])
+
+    def test_unserialisable_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"type": "x", "bad": object()})
+
+    def test_too_large_payload(self):
+        with pytest.raises(ProtocolError) as info:
+            encode_frame({"type": "x", "pad": "y" * 64}, max_bytes=32)
+        assert info.value.code == "too-large"
+
+    def test_error_frame_shape(self):
+        frame = error_message("busy", "queue full", depth=9)
+        assert frame == {"type": "error", "code": "busy",
+                         "message": "queue full", "depth": 9}
+        assert frame["code"] in ERROR_CODES
+
+    def test_protocol_error_as_frame(self):
+        exc = ProtocolError("nope", code="bad-json")
+        assert exc.as_frame()["code"] == "bad-json"
+
+
+# ----------------------------------------------------------------------
+# live-server abuse paths
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-protocol")
+    with ServerThread(cache_dir=str(root / "cache"),
+                      max_concurrent=1) as thread:
+        yield thread
+
+
+def _raw(server):
+    host, port = server.address
+    sock = socket.create_connection((host, port), timeout=10)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def _recv(sock, decoder=None, pending=None):
+    decoder = decoder if decoder is not None else FrameDecoder(
+        max_bytes=protocol.MAX_REPLY_BYTES
+    )
+    pending = pending if pending is not None else deque()
+    return protocol.recv_frame(sock, decoder, pending)
+
+
+def _client(server):
+    host, port = server.address
+    return ServeClient(host, port, timeout=30)
+
+
+class TestServerAbuse(object):
+    def test_bad_json_gets_error_and_connection_survives(self, server):
+        sock = _raw(server)
+        try:
+            payload = b"{broken"
+            sock.sendall(struct.pack(">I", len(payload)) + payload)
+            decoder = FrameDecoder(max_bytes=protocol.MAX_REPLY_BYTES)
+            pending = deque()
+            reply = _recv(sock, decoder, pending)
+            assert reply["type"] == "error" and reply["code"] == "bad-json"
+            # framing is intact: the same connection still serves
+            protocol.send_frame(sock, {"type": "ping"})
+            assert _recv(sock, decoder, pending)["type"] == "pong"
+        finally:
+            sock.close()
+
+    def test_non_object_payload_typed_error(self, server):
+        sock = _raw(server)
+        try:
+            payload = b"[1,2]"
+            sock.sendall(struct.pack(">I", len(payload)) + payload)
+            reply = _recv(sock)
+            assert reply["type"] == "error" and reply["code"] == "bad-frame"
+        finally:
+            sock.close()
+
+    def test_oversized_frame_error_then_close(self, server):
+        sock = _raw(server)
+        try:
+            sock.sendall(struct.pack(">I", 1 << 30))  # 1 GiB declared
+            decoder = FrameDecoder(max_bytes=protocol.MAX_REPLY_BYTES)
+            pending = deque()
+            reply = _recv(sock, decoder, pending)
+            assert reply["type"] == "error" and reply["code"] == "too-large"
+            # the stream cannot be resynced; the server closes it
+            assert _recv(sock, decoder, pending) is None
+        finally:
+            sock.close()
+
+    def test_mid_frame_disconnect_leaves_server_up(self, server):
+        sock = _raw(server)
+        sock.sendall(struct.pack(">I", 512) + b"only-part-of-the-body")
+        sock.close()  # vanish mid-frame
+        with _client(server) as client:  # a fresh client is unaffected
+            assert client.ping()["type"] == "pong"
+
+    def test_header_only_disconnect(self, server):
+        sock = _raw(server)
+        sock.sendall(b"\x00\x00")  # half a header
+        sock.close()
+        with _client(server) as client:
+            assert client.ping()["type"] == "pong"
+
+    def test_unknown_type_typed_error(self, server):
+        sock = _raw(server)
+        try:
+            protocol.send_frame(sock, {"type": "frobnicate"})
+            reply = _recv(sock)
+            assert reply["code"] == "unknown-type"
+        finally:
+            sock.close()
+
+    def test_submit_unknown_benchmark_bad_request(self, server):
+        with _client(server) as client:
+            with pytest.raises(ServeError) as info:
+                client.submit("not-a-benchmark", "stride",
+                              instructions=2000)
+            assert info.value.code == "bad-request"
+
+    def test_submit_bad_instructions_bad_request(self, server):
+        with _client(server) as client:
+            with pytest.raises(ServeError) as info:
+                client.submit("libquantum", "stride", instructions=-5)
+            assert info.value.code == "bad-request"
+
+    def test_status_unknown_job(self, server):
+        with _client(server) as client:
+            with pytest.raises(ServeError) as info:
+                client.status("j999999")
+            assert info.value.code == "unknown-job"
+
+    def test_cancel_after_complete_not_cancellable(self, server):
+        with _client(server) as client:
+            ticket = client.submit("libquantum", "none", instructions=2000)
+            client.result(ticket["job_id"], wait=True)
+            with pytest.raises(ServeError) as info:
+                client.cancel(ticket["job_id"])
+            assert info.value.code == "not-cancellable"
+
+    def test_stream_unknown_job_typed_error(self, server):
+        with _client(server) as client:
+            with pytest.raises(ServeError) as info:
+                list(client.stream("j424242"))
+            assert info.value.code == "unknown-job"
+
+    def test_server_catalog_matches_registry(self, server):
+        from repro.sim.catalog import catalog as build_catalog
+
+        with _client(server) as client:
+            assert client.catalog() == build_catalog()
