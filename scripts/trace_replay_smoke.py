@@ -1,0 +1,90 @@
+"""CI smoke: record-once / re-time-many, end to end.
+
+Pass 1 sweeps a small benchmark set under ``REPRO_TRACE_REPLAY=on``
+with one prefetcher, recording one functional trace per benchmark.
+Pass 2 sweeps the *same benchmarks under different prefetchers* against
+the same cache directory with the process-local memos cleared (so every
+load comes from disk): every result-cache probe misses (new configs)
+but every trace-store probe hits, so the pass must
+complete with **zero functional executions** -- ``recorded == 0`` and
+``lockstep == 0``.  A third pass with replay off, in a separate cache
+directory, provides the lockstep reference that the replayed results
+must match byte for byte.
+
+Run from the repo root::
+
+    python scripts/trace_replay_smoke.py [cache_dir]
+
+Exits non-zero (assertion) on any violation; prints the trace-store
+stats as JSON on success so CI can archive them.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))), "src"))
+
+BENCHMARKS = ("mcf", "libquantum")
+PASS1_PREFETCHERS = ("none",)
+PASS2_PREFETCHERS = ("stride", "sms", "bfetch")
+INSTRUCTIONS = 8_000
+
+
+def sweep(cache_dir, prefetchers):
+    """One serial sweep in this process; returns (results, counters)."""
+    from repro.sim.runner import ExperimentRunner, RunRequest
+    from repro.trace.store import clear_memos, replay_counters, \
+        reset_counters
+
+    clear_memos()
+    reset_counters()
+    runner = ExperimentRunner(cache_dir=cache_dir)
+    requests = [RunRequest(bench, prefetcher, INSTRUCTIONS)
+                for bench in BENCHMARKS
+                for prefetcher in prefetchers]
+    results = runner.run_many(requests, jobs=1)
+    return [r.as_dict() for r in results], dict(replay_counters)
+
+
+def main():
+    cache_dir = sys.argv[1] if len(sys.argv) > 1 else "trace-smoke-cache"
+    os.environ["REPRO_JOBS"] = "1"  # counters are process-local
+
+    # lockstep reference, separate cache, replay off
+    os.environ["REPRO_TRACE_REPLAY"] = "off"
+    reference, ref_counters = sweep(cache_dir + "-ref", PASS2_PREFETCHERS)
+    assert ref_counters["lockstep"] == len(reference), ref_counters
+
+    # pass 1: record (strict mode -- a fallback is a failure here)
+    os.environ["REPRO_TRACE_REPLAY"] = "on"
+    _results, counters = sweep(cache_dir, PASS1_PREFETCHERS)
+    assert counters["recorded"] == len(BENCHMARKS), counters
+    assert counters["replayed"] == len(BENCHMARKS), counters
+    assert counters["lockstep"] == 0, counters
+    assert counters["fallback"] == 0, counters
+    print("pass 1 (record): %s" % counters)
+
+    # pass 2: new configs, zero functional executions
+    replayed, counters = sweep(cache_dir, PASS2_PREFETCHERS)
+    assert counters["recorded"] == 0, \
+        "pass 2 recorded traces: %s" % counters
+    assert counters["lockstep"] == 0, \
+        "pass 2 fell back to lockstep: %s" % counters
+    assert counters["fallback"] == 0, counters
+    assert counters["replayed"] == len(replayed), counters
+    print("pass 2 (replay): %s" % counters)
+
+    # byte-identity against the lockstep reference
+    assert replayed == reference, "replayed sweep diverged from lockstep"
+    print("byte-identity: %d results identical" % len(reference))
+
+    from repro.trace.store import TraceStore
+    stats = TraceStore(cache_dir).stats()
+    assert stats["entries"] == len(BENCHMARKS), stats
+    print(json.dumps({"trace_store": stats}))
+
+
+if __name__ == "__main__":
+    main()

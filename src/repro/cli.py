@@ -16,6 +16,8 @@ Commands
 ``jobs``       list a server's jobs; ``--stats`` dumps its ``serve.*``
                metrics registry
 ``bench-perf`` perf micro-harness (simulated instr/sec, BENCH_*.json)
+``cache``      result/trace cache maintenance (``--stats`` per-kind
+               totals, ``--gc --older-than AGE`` safe eviction)
 ``stats``      gem5-style hierarchical stats dump for one fresh run
 ``trace``      structured JSONL event trace for one fresh run
 ``check``      run under the runtime invariant sanitizer; on a violation
@@ -261,6 +263,8 @@ def cmd_bench_perf(args):
         policy=_make_policy(args),
         serve=args.serve,
         serve_instructions=args.serve_instructions,
+        trace_replay=args.trace_replay,
+        trace_replay_instructions=args.trace_replay_instructions,
     )
     print(render_summary(payload))
     if not args.no_write:
@@ -361,6 +365,58 @@ def cmd_check(args):
         return 0
     print(report.describe(), file=sys.stderr)
     return 1
+
+
+_DURATION_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+
+
+def _duration_seconds(text):
+    """Argparse type: a duration like ``30d``, ``12h``, ``45m`` or bare
+    seconds; strictly positive."""
+    raw = text.strip().lower()
+    unit = 1
+    if raw and raw[-1] in _DURATION_UNITS:
+        unit = _DURATION_UNITS[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw) * unit
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a duration like '30d', '12h', '45m' or seconds, "
+            "got %r" % (text,)
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "expected a positive duration, got %r" % (text,)
+        )
+    return value
+
+
+def cmd_cache(args):
+    """Inspect or garbage-collect the on-disk result/trace cache."""
+    runner = ExperimentRunner(cache_dir=args.cache_dir)
+    if args.gc:
+        if args.older_than is None:
+            print("error: --gc requires --older-than", file=sys.stderr)
+            return 2
+        summary = runner.cache_gc(args.older_than)
+        print("removed %d entries (%.1f KB)"
+              % (summary["removed"], summary["bytes"] / 1024.0))
+        return 0
+    stats = runner.cache_stats()
+    if not stats:
+        print("cache %s is empty or missing" % args.cache_dir)
+        return 0
+    total_entries = 0
+    total_bytes = 0
+    print("%-10s %8s %12s" % ("KIND", "ENTRIES", "BYTES"))
+    for kind in sorted(stats):
+        entry = stats[kind]
+        total_entries += entry["entries"]
+        total_bytes += entry["bytes"]
+        print("%-10s %8d %12d" % (kind, entry["entries"], entry["bytes"]))
+    print("%-10s %8d %12d" % ("total", total_entries, total_bytes))
+    return 0
 
 
 def cmd_list(args):
@@ -582,6 +638,14 @@ def build_parser():
     bench.add_argument("--serve-instructions", type=_positive_int,
                        default=4_000,
                        help="instruction budget per served job")
+    bench.add_argument("--trace-replay", action="store_true",
+                       help="also bench the trace substrate (record "
+                            "cost, replay speedup, repeated-sweep "
+                            "speedup vs lockstep)")
+    bench.add_argument("--trace-replay-instructions", type=_positive_int,
+                       default=10_000,
+                       help="instruction budget per trace-replay "
+                            "sweep run")
     bench.add_argument("-j", "--jobs", type=_positive_int, default=None,
                        help="worker processes for the parallel sweep pass")
     bench.add_argument("--label", default=None,
@@ -655,6 +719,24 @@ def build_parser():
                        help="dump the offending state here on a "
                             "violation (atomic, integrity-enveloped)")
     check.set_defaults(func=cmd_check)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect (--stats) or garbage-collect (--gc) the result/"
+             "trace cache",
+    )
+    cache.add_argument("cache_dir", help="cache directory to operate on")
+    cache.add_argument("--stats", action="store_true",
+                       help="print per-kind entry counts and byte totals "
+                            "(the default action)")
+    cache.add_argument("--gc", action="store_true",
+                       help="evict entries older than --older-than; safe "
+                            "against concurrent writers")
+    cache.add_argument("--older-than", type=_duration_seconds, default=None,
+                       metavar="AGE",
+                       help="age threshold for --gc: '30d', '12h', '45m' "
+                            "or bare seconds")
+    cache.set_defaults(func=cmd_cache)
 
     lister = sub.add_parser("list", help="list benchmarks and prefetchers")
     lister.add_argument("--json", action="store_true",

@@ -5,6 +5,7 @@ from repro.perf.harness import (
     bench_component,
     bench_serve,
     bench_sweep,
+    bench_trace_replay,
     default_output_dir,
     run_perf_suite,
     write_bench_json,
@@ -15,6 +16,7 @@ __all__ = [
     "bench_component",
     "bench_serve",
     "bench_sweep",
+    "bench_trace_replay",
     "default_output_dir",
     "run_perf_suite",
     "write_bench_json",

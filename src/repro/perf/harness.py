@@ -38,6 +38,32 @@ from repro.workloads.spec import build_workload
 SCHEMA = "repro-perf-v1"
 COMPONENTS = ("functional", "ooo", "full_system")
 
+
+def host_info():
+    """Provenance block stamped into every BENCH point: interpreter,
+    platform, CPU count and the repo's git revision (when available) --
+    enough to know which machine and source produced a number."""
+    info = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": None,
+    }
+    try:
+        import subprocess
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if sha.returncode == 0:
+            info["git_sha"] = sha.stdout.strip()
+    except Exception:
+        pass
+    return info
+
 # Fig. 8 prefetcher columns (stride / SMS / B-Fetch vs the baseline)
 SWEEP_PREFETCHERS = ("none", "stride", "sms", "bfetch")
 
@@ -232,10 +258,124 @@ def bench_serve(benchmarks=("libquantum", "mcf"),
     }
 
 
+def bench_trace_replay(benchmarks=("libquantum", "mcf"),
+                       prefetchers=SWEEP_PREFETCHERS,
+                       instructions=10_000, policy=None):
+    """Record-once / re-time-many numbers for the trace substrate.
+
+    Four measurements over the same ``len(benchmarks) x
+    len(prefetchers)`` sweep, all serial (``jobs=1``) so they time the
+    engine rather than the pool:
+
+    * ``lockstep_seconds`` -- cold sweep with replay off (the baseline);
+    * ``record_seconds`` -- recording one functional trace per
+      benchmark (the one-time cost the substrate amortises);
+    * ``replay_seconds`` -- cold *result* cache but warm *trace* store,
+      process memos cleared first, so every cell re-times off its trace
+      (what a new config sweep over recorded workloads costs);
+    * ``warm_cache_seconds`` -- the identical sweep again with
+      everything warm (what re-running a sweep costs end to end; this
+      is the repeated-sweep number the cache + trace substrate buys).
+
+    ``results_identical`` asserts the replayed sweep's results are
+    byte-identical to the lockstep baseline's; ``replay_instr_per_sec``
+    times one replay-driven system run for the first benchmark.
+    """
+    import shutil
+
+    from repro.trace.store import (
+        TraceStore,
+        clear_memos,
+        replay_counters,
+        reset_counters,
+    )
+
+    requests = [
+        RunRequest(bench, prefetcher, instructions)
+        for bench in benchmarks
+        for prefetcher in prefetchers
+    ]
+
+    def timed_sweep(cache_dir, mode):
+        previous = os.environ.get("REPRO_TRACE_REPLAY")
+        os.environ["REPRO_TRACE_REPLAY"] = mode
+        try:
+            runner = ExperimentRunner(cache_dir=cache_dir, policy=policy)
+            start = time.perf_counter()
+            results = runner.run_many(requests, jobs=1)
+            return time.perf_counter() - start, results
+        finally:
+            if previous is None:
+                del os.environ["REPRO_TRACE_REPLAY"]
+            else:
+                os.environ["REPRO_TRACE_REPLAY"] = previous
+
+    with tempfile.TemporaryDirectory() as lockstep_dir:
+        lockstep_seconds, lockstep_results = timed_sweep(
+            lockstep_dir, "off")
+
+    with tempfile.TemporaryDirectory() as trace_dir:
+        # one-time record cost, measured directly per benchmark
+        store = TraceStore(trace_dir)
+        start = time.perf_counter()
+        for bench in benchmarks:
+            store.record(build_workload(bench), instructions)
+        record_seconds = time.perf_counter() - start
+
+        # replay-driven single run (hot memos) for an instr/s figure
+        workload = build_workload(benchmarks[0])
+        trace = store.load(workload, instructions)
+        from repro.trace.replay import TraceReplaySource
+        system = System(workload, SystemConfig(prefetcher="none"),
+                        replay=TraceReplaySource(workload, trace))
+        start = time.perf_counter()
+        system.run(instructions)
+        replay_run_seconds = time.perf_counter() - start
+
+        # cold result cache + warm trace store, fresh-process memo state
+        clear_memos()
+        reset_counters()
+        shutil.rmtree(os.path.join(trace_dir, "single"),
+                      ignore_errors=True)
+        replay_seconds, replay_results = timed_sweep(trace_dir, "auto")
+        counters = dict(replay_counters)
+
+        # everything warm: the repeated-sweep case
+        warm_cache_seconds, _warm_results = timed_sweep(trace_dir, "auto")
+
+    identical = [r.as_dict() for r in lockstep_results] == [
+        r.as_dict() for r in replay_results
+    ]
+    return {
+        "runs": len(requests),
+        "benchmarks": list(benchmarks),
+        "prefetchers": list(prefetchers),
+        "instructions_per_run": instructions,
+        "lockstep_seconds": lockstep_seconds,
+        "record_seconds": record_seconds,
+        "replay_seconds": replay_seconds,
+        "warm_cache_seconds": warm_cache_seconds,
+        "replay_speedup": (
+            lockstep_seconds / replay_seconds if replay_seconds else 0.0
+        ),
+        "repeated_sweep_speedup": (
+            lockstep_seconds / warm_cache_seconds
+            if warm_cache_seconds else 0.0
+        ),
+        "replay_instr_per_sec": (
+            instructions / replay_run_seconds if replay_run_seconds
+            else 0.0
+        ),
+        "results_identical": identical,
+        "counters": counters,
+    }
+
+
 def run_perf_suite(benchmark="libquantum", instructions=30_000,
                    sweep_benchmarks=None, sweep_instructions=10_000,
                    jobs=4, label=None, policy=None, serve=False,
-                   serve_instructions=4_000):
+                   serve_instructions=4_000, trace_replay=False,
+                   trace_replay_instructions=10_000):
     """Run the component timings (and optional sweep); returns the payload.
 
     :param sweep_benchmarks: iterable of benchmark names to include in the
@@ -244,17 +384,15 @@ def run_perf_suite(benchmark="libquantum", instructions=30_000,
         the sweep passes (retries/timeouts on flaky hosts).
     :param serve: when true, also run :func:`bench_serve` and attach the
         job-server round-trip numbers under the ``serve`` key.
+    :param trace_replay: when true, also run :func:`bench_trace_replay`
+        and attach its record/replay/repeated-sweep numbers under the
+        ``trace_replay`` key.
     """
     payload = {
         "schema": SCHEMA,
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "label": label,
-        "host": {
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "machine": platform.machine(),
-            "cpu_count": os.cpu_count(),
-        },
+        "host": host_info(),
         "benchmark": benchmark,
         "components": {
             component: bench_component(component, benchmark, instructions)
@@ -268,6 +406,10 @@ def run_perf_suite(benchmark="libquantum", instructions=30_000,
         )
     if serve:
         payload["serve"] = bench_serve(instructions=serve_instructions)
+    if trace_replay:
+        payload["trace_replay"] = bench_trace_replay(
+            instructions=trace_replay_instructions, policy=policy,
+        )
     return payload
 
 
@@ -314,6 +456,20 @@ def render_summary(payload):
             % (sweep["runs"], sweep["serial_seconds"], sweep["jobs"],
                sweep["parallel_seconds"], sweep["parallel_speedup"],
                sweep["results_identical"])
+        )
+    trace_replay = payload.get("trace_replay")
+    if trace_replay:
+        lines.append(
+            "  trace-replay: %d runs  lockstep %.2fs  record %.2fs  "
+            "replay %.2fs (%.2fx)  repeated sweep %.2fs (%.2fx)  "
+            "identical=%s"
+            % (trace_replay["runs"], trace_replay["lockstep_seconds"],
+               trace_replay["record_seconds"],
+               trace_replay["replay_seconds"],
+               trace_replay["replay_speedup"],
+               trace_replay["warm_cache_seconds"],
+               trace_replay["repeated_sweep_speedup"],
+               trace_replay["results_identical"])
         )
     serve = payload.get("serve")
     if serve:

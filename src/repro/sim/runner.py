@@ -96,6 +96,11 @@ from repro.sim.cmp import CMPSystem
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import weighted_speedup
 from repro.sim.system import RunResult, System
+from repro.trace.store import (
+    replay_counters as _replay_counters,
+    replay_mode as _replay_mode,
+    replay_source_for as _replay_source_for,
+)
 from repro.workloads.mixes import foa_from_result
 from repro.workloads.spec import build_workload
 
@@ -195,7 +200,7 @@ class RunRequest(
 
 
 def _execute_single(benchmark, prefetcher, instructions, config, variant,
-                    attempt=0, fault_key=None):
+                    attempt=0, fault_key=None, cache_dir=None):
     """Worker body: build and run one system; returns the result dict.
 
     Module-level so it pickles for the process pool; simulation is fully
@@ -204,6 +209,12 @@ def _execute_single(benchmark, prefetcher, instructions, config, variant,
 
     *attempt*/*fault_key* feed the deterministic fault-injection harness
     (``REPRO_FAULTS``); they never influence the simulation itself.
+
+    When ``REPRO_TRACE_REPLAY`` is ``auto``/``on`` the run is driven by
+    a recorded functional trace from the content-addressed store under
+    *cache_dir* (recorded on the first miss), producing byte-identical
+    results at timing-only cost; lockstep execution remains the default
+    and the differential oracle.
 
     When ``REPRO_CKPT_DIR`` and/or ``REPRO_CHECK`` are set the run goes
     through the chunked :meth:`~repro.sim.System.run` path with a
@@ -221,7 +232,11 @@ def _execute_single(benchmark, prefetcher, instructions, config, variant,
     if plan.active:
         plan.inject_execution_faults(fault_key, attempt)
         corrupt_at = plan.corrupt_state_cycle(fault_key, attempt)
-    system = System(build_workload(benchmark, variant), config)
+    workload = build_workload(benchmark, variant)
+    replay = _replay_source_for(workload, instructions, variant,
+                                cache_dir=cache_dir)
+    _replay_counters["replayed" if replay is not None else "lockstep"] += 1
+    system = System(workload, config, replay=replay)
     sanitizer = Sanitizer.from_env()
     checkpointer = _checkpointer_from_env(
         "single-%s" % hashlib.sha1(str(fault_key).encode()).hexdigest()[:16]
@@ -299,6 +314,9 @@ class ExperimentRunner:
         self.policy = policy
         self.last_report = None
         self._memo = {}
+        # fail fast on a malformed REPRO_TRACE_REPLAY instead of letting
+        # every task burn its retry budget on the same config error
+        _replay_mode()
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
             # a crashed writer can leave ".tmp-*" droppings behind from
@@ -434,6 +452,77 @@ class ExperimentRunner:
         atomic_write_text(path, text)
 
     # ------------------------------------------------------------------
+    # cache maintenance
+
+    def cache_stats(self):
+        """Per-kind entry counts and byte totals of the on-disk cache.
+
+        Returns ``{kind: {"entries": n, "bytes": b}}`` over every kind
+        directory under ``cache_dir`` (``single``, ``mix``, ``ftrace``,
+        ...), skipping in-flight ``.tmp-`` files.  Empty when caching is
+        off.
+        """
+        stats = {}
+        if not self.cache_dir or not os.path.isdir(self.cache_dir):
+            return stats
+        for kind in sorted(os.listdir(self.cache_dir)):
+            root = os.path.join(self.cache_dir, kind)
+            if not os.path.isdir(root):
+                continue
+            entries = 0
+            total = 0
+            for dirpath, _dirnames, filenames in os.walk(root):
+                for name in filenames:
+                    if name.startswith(".tmp-"):
+                        continue
+                    try:
+                        total += os.path.getsize(
+                            os.path.join(dirpath, name))
+                        entries += 1
+                    except OSError:
+                        continue
+            stats[kind] = {"entries": entries, "bytes": total}
+        return stats
+
+    def cache_gc(self, older_than_seconds):
+        """Evict cache entries not modified in *older_than_seconds*.
+
+        Safe against concurrent writers: each candidate's identity
+        (inode, size, mtime) is captured before the age test and the
+        unlink goes through
+        :func:`repro.obs.io.remove_if_unchanged`, so an entry refreshed
+        between the stat and the unlink is left alone.  Empty shard
+        directories are pruned opportunistically.  Returns
+        ``{"removed": n, "bytes": b}``.
+        """
+        removed = 0
+        freed = 0
+        if not self.cache_dir or not os.path.isdir(self.cache_dir):
+            return {"removed": removed, "bytes": freed}
+        cutoff = time.time() - max(0, older_than_seconds)
+        for dirpath, dirnames, filenames in os.walk(
+                self.cache_dir, topdown=False):
+            for name in filenames:
+                if name.startswith(".tmp-"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                if stat.st_mtime >= cutoff:
+                    continue
+                if remove_if_unchanged(path, file_signature(stat)):
+                    removed += 1
+                    freed += stat.st_size
+            if dirpath != self.cache_dir and not dirnames:
+                try:
+                    os.rmdir(dirpath)
+                except OSError:
+                    pass
+        return {"removed": removed, "bytes": freed}
+
+    # ------------------------------------------------------------------
     # single-run primitives
 
     def _resolve_policy(self, policy=None):
@@ -489,7 +578,8 @@ class ExperimentRunner:
         try:
             data, _attempts = call_with_retries(
                 lambda attempt: _execute_single(
-                    *job, attempt=attempt, fault_key=fault_key
+                    *job, attempt=attempt, fault_key=fault_key,
+                    cache_dir=self.cache_dir,
                 ),
                 fault_key, policy,
             )
@@ -647,7 +737,8 @@ class ExperimentRunner:
             report.degradations += 1
             try:
                 data = _execute_single(*task.job, attempt=task.attempts,
-                                       fault_key=task.key)
+                                       fault_key=task.key,
+                                       cache_dir=self.cache_dir)
             except Exception as exc:
                 final = SimulationError(
                     "task %s failed in-process after pool failures: %s"
@@ -680,7 +771,8 @@ class ExperimentRunner:
         for task in tasks:
             def attempt_fn(attempt, _job=task.job, _key=task.key):
                 return _execute_single(*_job, attempt=attempt,
-                                       fault_key=_key)
+                                       fault_key=_key,
+                                       cache_dir=self.cache_dir)
 
             def on_retry(exc, attempt):
                 report.errors += 1
@@ -747,6 +839,7 @@ class ExperimentRunner:
                         future = pool.submit(
                             _execute_single, *task.job,
                             attempt=task.attempts, fault_key=task.key,
+                            cache_dir=self.cache_dir,
                         )
                     except (BrokenProcessPool, RuntimeError):
                         queue.appendleft(task)
@@ -887,7 +980,19 @@ class ExperimentRunner:
         cached = self._cached(path, memo_key)
         if cached is not None:
             return [RunResult(dict(entry)) for entry in cached]
-        cmp_system = CMPSystem([build_workload(name) for name in mix], config)
+        workloads = [build_workload(name) for name in mix]
+        replays = None
+        if _replay_mode() != "off":
+            replays = [
+                _replay_source_for(workload, instructions,
+                                   cache_dir=self.cache_dir)
+                for workload in workloads
+            ]
+            if any(replay is None for replay in replays):
+                replays = None  # all-or-nothing: keep the mix uniform
+        _replay_counters[
+            "replayed" if replays is not None else "lockstep"] += 1
+        cmp_system = CMPSystem(workloads, config, replays=replays)
         sanitizer = Sanitizer.from_env()
         checkpointer = _checkpointer_from_env("mix-%s" % memo_key[1][:16])
         corrupt_at = get_fault_plan().corrupt_state_cycle(memo_key[1])

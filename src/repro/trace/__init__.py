@@ -1,0 +1,48 @@
+"""Functional-trace substrate: record once, re-time many (DESIGN.md §9).
+
+The simulator's functional behaviour for a given ``(benchmark, variant,
+steps)`` triple is fully deterministic and *config-independent* -- every
+sweep cell that varies the prefetcher, predictor or hierarchy re-executes
+the identical architectural instruction stream just to re-time it.  This
+package splits the engine into **record** and **replay**:
+
+* :mod:`repro.trace.format` -- a compact varint/delta binary encoding of
+  the committed-instruction stream (branch outcomes + targets, load/store
+  effective addresses, register write-back values, basic-block
+  transitions), with a versioned, integrity-enveloped header and an
+  architectural-state trailer;
+* :mod:`repro.trace.record` -- records a trace by instrumenting the
+  :class:`~repro.cpu.functional.Machine`;
+* :mod:`repro.trace.replay` -- :class:`TraceReplaySource`, a drop-in
+  machine replacement that feeds the timing model from a decoded trace
+  (and transparently *live-continues* on a real machine when the trace is
+  exhausted, which CMP runs rely on);
+* :mod:`repro.trace.engine` -- a fused, trace-specialised timing loop
+  whose results are byte-identical to lockstep execution;
+* :mod:`repro.trace.store` -- content-addressed persistence inside the
+  result cache (``<cache_dir>/ftrace/``) plus the process-local decode
+  memos and the record/replay counters.
+
+Replay is governed by the ``REPRO_TRACE_REPLAY`` environment knob
+(``off`` default, ``auto`` records on first miss and replays thereafter,
+``on`` additionally refuses to fall back silently); lockstep execution is
+retained as the differential oracle -- ``tests/test_trace_replay.py``
+and the sanitizer's full mode cross-validate the two.
+"""
+
+from repro.trace.format import TraceData, TraceError, decode_trace, encode_trace
+from repro.trace.record import record_trace
+from repro.trace.replay import TraceReplaySource
+from repro.trace.store import TraceStore, replay_counters, replay_mode
+
+__all__ = [
+    "TraceData",
+    "TraceError",
+    "TraceReplaySource",
+    "TraceStore",
+    "decode_trace",
+    "encode_trace",
+    "record_trace",
+    "replay_counters",
+    "replay_mode",
+]

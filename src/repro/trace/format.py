@@ -1,0 +1,280 @@
+"""Binary functional-trace format (``RFTR``, version 1).
+
+Layout::
+
+    b"RFTR"                      4-byte magic
+    version                      1 byte
+    varint header_len            | JSON header, wrapped in the standard
+    header bytes                 | {"v","sha","data"} integrity envelope
+    body bytes                   per-step varint/delta records
+    varint trailer_len           | JSON architectural-state trailer
+    trailer bytes                |
+
+The header payload binds the trace to its workload identity
+(``benchmark``/``variant``/``steps``/``program_len``) and carries the
+byte lengths and SHA-1 digests of the body and trailer, so *any*
+truncation, corruption or version skew is detected on decode and
+surfaced as :class:`TraceError` -- a trace is never trusted blindly.
+The envelope itself is the shared implementation from
+:mod:`repro.resilience.envelope`.
+
+Per-step record encoding (execution order)::
+
+    flags byte:  bit0 taken   bit1 has_ea   bit2 has_value   bit3 jump
+    [jump]       zigzag varint of (index - (prev_index + 1))
+    [has_ea]     zigzag varint of (ea - prev_ea)
+    [has_value]  zigzag varint of (value - prev value of that register)
+
+``index`` is the *static* instruction index -- sequential flow costs one
+byte per step; only taken branches (and HALT restarts) spend a jump
+delta.  ``value`` is the raw (unmasked -- possibly negative or wider
+than 64 bits, see :meth:`repro.cpu.functional.Machine.snapshot`) value
+written to the destination register, delta-encoded against that same
+register's previous value so induction variables compress to one or two
+bytes.  The destination register number itself is *not* stored: it is a
+static property of the instruction, recovered from the program at decode
+time.
+
+The trailer stores the architectural state after the last recorded step
+-- registers, the memory image as a delta against the workload's initial
+image, the next instruction index and the retirement counters -- which
+is what lets :class:`~repro.trace.replay.TraceReplaySource` hand over to
+a live :class:`~repro.cpu.functional.Machine` when a caller (the CMP
+scheduler's keep-running overshoot) steps past the recorded window.
+"""
+
+import hashlib
+import json
+
+from repro.resilience import CacheCorruption
+from repro.resilience.envelope import unwrap_envelope, wrap_envelope
+
+TRACE_MAGIC = b"RFTR"
+TRACE_VERSION = 1
+
+
+class TraceError(Exception):
+    """A trace blob cannot be trusted (truncated/corrupt/version skew)."""
+
+
+class TraceData(object):
+    """A decoded trace: metadata, per-step records, final state.
+
+    ``records`` is a list of ``(index, taken, ea, value)`` tuples in
+    execution order (``ea``/``value`` are None when the step has no
+    memory access / register write); ``final_state`` is the trailer
+    dict.  ``digest`` is filled in by the store for memoisation.
+    """
+
+    __slots__ = ("meta", "records", "final_state", "digest")
+
+    def __init__(self, meta, records, final_state, digest=None):
+        self.meta = meta
+        self.records = records
+        self.final_state = final_state
+        self.digest = digest
+
+
+def _bytes_sha(blob):
+    return hashlib.sha1(blob).hexdigest()[:16]
+
+
+def _encode_varint(value, out):
+    """Append an unsigned LEB128 varint to bytearray *out*."""
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _zigzag(value):
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(value):
+    return (value >> 1) if not (value & 1) else -((value + 1) >> 1)
+
+
+def encode_trace(meta, records, final_state):
+    """Serialise a trace; returns the complete binary blob.
+
+    :param meta: JSON-safe identity dict (benchmark/variant/steps/...).
+    :param records: iterable of ``(index, taken, ea, value)`` tuples.
+    :param final_state: JSON-safe architectural trailer.
+    """
+    body = bytearray()
+    prev_index = -1
+    prev_ea = 0
+    prev_value = [0] * 32
+    reg_of = meta.get("_reg_of")  # internal: per-step rd, supplied by record
+    steps = 0
+    for index, taken, ea, value in records:
+        flags = 0
+        if taken:
+            flags |= 1
+        if ea is not None:
+            flags |= 2
+        if value is not None:
+            flags |= 4
+        jump = index - (prev_index + 1)
+        if jump:
+            flags |= 8
+        body.append(flags)
+        if jump:
+            _encode_varint(_zigzag(jump), body)
+        if ea is not None:
+            _encode_varint(_zigzag(ea - prev_ea), body)
+            prev_ea = ea
+        if value is not None:
+            reg = reg_of[index]
+            _encode_varint(_zigzag(value - prev_value[reg]), body)
+            prev_value[reg] = value
+        prev_index = index
+        steps += 1
+    body = bytes(body)
+    trailer = json.dumps(final_state, sort_keys=True).encode()
+    header_payload = {
+        "meta": {key: value for key, value in meta.items()
+                 if not key.startswith("_")},
+        "steps": steps,
+        "body_len": len(body),
+        "body_sha": _bytes_sha(body),
+        "trailer_len": len(trailer),
+        "trailer_sha": _bytes_sha(trailer),
+    }
+    header = json.dumps(
+        wrap_envelope(header_payload, TRACE_VERSION), sort_keys=True
+    ).encode()
+    out = bytearray(TRACE_MAGIC)
+    out.append(TRACE_VERSION)
+    _encode_varint(len(header), out)
+    out += header
+    out += body
+    _encode_varint(len(trailer), out)
+    out += trailer
+    return bytes(out)
+
+
+def _decode_varint(blob, pos, limit):
+    result = 0
+    shift = 0
+    while True:
+        if pos >= limit:
+            raise TraceError("truncated varint at offset %d" % pos)
+        byte = blob[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def decode_trace(blob, reg_of, expect_meta=None):
+    """Parse and verify a trace blob; returns :class:`TraceData`.
+
+    :param reg_of: per-static-instruction destination register (from
+        :func:`repro.trace.record.write_regs_of`) -- needed to
+        reconstruct absolute register values from per-register deltas.
+    :param expect_meta: when given, every key present must match the
+        stored metadata (workload identity binding).
+    :raises TraceError: wrong magic/version, truncation, digest
+        mismatch, or metadata disagreement -- the caller must fall back
+        to recording.
+    """
+    if len(blob) < len(TRACE_MAGIC) + 1:
+        raise TraceError("blob shorter than the trace preamble")
+    if blob[: len(TRACE_MAGIC)] != TRACE_MAGIC:
+        raise TraceError("bad magic %r" % blob[: len(TRACE_MAGIC)])
+    version = blob[len(TRACE_MAGIC)]
+    if version != TRACE_VERSION:
+        raise TraceError(
+            "trace version %d (expected %d)" % (version, TRACE_VERSION)
+        )
+    pos = len(TRACE_MAGIC) + 1
+    header_len, pos = _decode_varint(blob, pos, len(blob))
+    if pos + header_len > len(blob):
+        raise TraceError("truncated header")
+    try:
+        header_obj = json.loads(blob[pos:pos + header_len].decode())
+        header = unwrap_envelope(header_obj, TRACE_VERSION)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise TraceError("unreadable header: %s" % exc)
+    except CacheCorruption as exc:
+        raise TraceError("header failed integrity verification: %s" % exc)
+    pos += header_len
+    meta = header.get("meta", {})
+    if expect_meta:
+        for key, value in expect_meta.items():
+            if meta.get(key) != value:
+                raise TraceError(
+                    "trace metadata mismatch on %r: stored %r, expected %r"
+                    % (key, meta.get(key), value)
+                )
+    body_len = header["body_len"]
+    if pos + body_len > len(blob):
+        raise TraceError("truncated body (%d of %d bytes)"
+                         % (len(blob) - pos, body_len))
+    body = blob[pos:pos + body_len]
+    if _bytes_sha(body) != header["body_sha"]:
+        raise TraceError("body failed digest verification")
+    pos += body_len
+    trailer_len, pos = _decode_varint(blob, pos, len(blob))
+    if trailer_len != header["trailer_len"] or pos + trailer_len > len(blob):
+        raise TraceError("truncated trailer")
+    trailer_bytes = blob[pos:pos + trailer_len]
+    if _bytes_sha(trailer_bytes) != header["trailer_sha"]:
+        raise TraceError("trailer failed digest verification")
+    try:
+        final_state = json.loads(trailer_bytes.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise TraceError("unreadable trailer: %s" % exc)
+
+    records = _decode_body(body, header["steps"], reg_of)
+    return TraceData(meta, records, final_state)
+
+
+def _decode_body(body, steps, reg_of):
+    records = []
+    append = records.append
+    decode_varint = _decode_varint
+    unzig = _unzigzag
+    limit = len(body)
+    pos = 0
+    prev_index = -1
+    prev_ea = 0
+    prev_value = [0] * 32
+    program_len = len(reg_of)
+    for _ in range(steps):
+        if pos >= limit:
+            raise TraceError("body ended after %d of %d steps"
+                             % (len(records), steps))
+        flags = body[pos]
+        pos += 1
+        index = prev_index + 1
+        if flags & 8:
+            delta, pos = decode_varint(body, pos, limit)
+            index += unzig(delta)
+        if not 0 <= index < program_len:
+            raise TraceError("step %d: instruction index %d outside "
+                             "program of %d" % (len(records), index,
+                                                program_len))
+        ea = None
+        if flags & 2:
+            delta, pos = decode_varint(body, pos, limit)
+            ea = prev_ea + unzig(delta)
+            prev_ea = ea
+        value = None
+        if flags & 4:
+            reg = reg_of[index]
+            if reg < 0:
+                raise TraceError("step %d: value for non-writing "
+                                 "instruction %d" % (len(records), index))
+            delta, pos = decode_varint(body, pos, limit)
+            value = prev_value[reg] + unzig(delta)
+            prev_value[reg] = value
+        append((index, bool(flags & 1), ea, value))
+        prev_index = index
+    if pos != limit:
+        raise TraceError("%d trailing bytes after the last record"
+                         % (limit - pos))
+    return records

@@ -1,0 +1,81 @@
+"""Record a functional trace by driving :class:`~repro.cpu.functional.Machine`.
+
+Recording is the *once* half of record-once / re-time-many: it runs the
+architectural interpreter for exactly ``steps`` dynamic instructions --
+the same count a timing run dispatches for that budget -- capturing per
+step the static instruction index, the branch outcome, the effective
+address and the register write-back value.  Everything a timing model
+ever reads from the machine (``instr``/``taken``/``ea`` from ``step()``,
+``pc``, ``regs``) is reconstructible from those four fields plus the
+static program, so replay is exact by construction; the differential
+oracle in :mod:`repro.sanitize` and ``tests/test_trace_replay.py``
+enforces it anyway.
+
+The trailer captures the architectural state *after* the last recorded
+step (registers raw, memory as a delta against the workload's initial
+image) so replay can hand over to a live machine when a caller steps
+past the recorded window -- the CMP scheduler's keep-running overshoot
+does this on every mix run.
+"""
+
+from repro.cpu.functional import (
+    HaltError,
+    Machine,
+    memory_delta,
+    write_regs_of,
+)
+from repro.trace.format import TraceData, encode_trace
+
+
+def trace_meta(workload, steps, variant=0):
+    """The identity metadata a trace is bound to (and keyed by).
+
+    Deliberately config-independent: the functional stream depends only
+    on the workload content (benchmark + variant) and the dynamic
+    instruction count, never on predictors, prefetchers or the memory
+    hierarchy -- that independence is what lets one recording feed every
+    sweep cell.
+    """
+    return {
+        "benchmark": workload.name,
+        "variant": variant,
+        "steps": steps,
+        "program_len": len(workload.program.instrs),
+    }
+
+
+def record_trace(workload, steps, variant=0):
+    """Execute *steps* instructions of *workload* and capture the trace.
+
+    Returns ``(blob, trace)``: the serialised binary form (for the
+    content-addressed store) and the in-memory :class:`TraceData` (so
+    the recording process can replay without a decode round-trip).
+    """
+    machine = Machine(workload.program, dict(workload.memory))
+    reg_of = write_regs_of(workload.program)
+    records = []
+    append = records.append
+    step = machine.step
+    regs = machine.regs
+    for _ in range(steps):
+        index = machine.index
+        try:
+            _instr, taken, ea = step()
+        except HaltError:  # pragma: no cover - workload runs restart
+            break
+        rd = reg_of[index]
+        append((index, taken, ea, regs[rd] if rd >= 0 else None))
+    final_state = {
+        "regs": list(machine.regs),
+        "memory_delta": memory_delta(machine, workload.memory),
+        "index": machine.index,
+        "halted": machine.halted,
+        "instret": machine.instret,
+        "restarts": machine.restarts,
+    }
+    meta = trace_meta(workload, len(records), variant)
+    meta["_reg_of"] = reg_of
+    blob = encode_trace(meta, records, final_state)
+    del meta["_reg_of"]
+    trace = TraceData(meta, records, final_state)
+    return blob, trace

@@ -1,0 +1,260 @@
+"""Trace replay: a drop-in functional-machine replacement.
+
+:class:`TraceReplaySource` exposes the exact surface the timing model
+and its collaborators consume from :class:`~repro.cpu.functional.Machine`
+-- ``step()`` returning ``(instr, taken, ea)``, ``pc``, ``regs``,
+``index``, ``program``, ``instret``, ``snapshot()``/``restore()`` -- but
+serves every step from a decoded trace instead of interpreting the
+program.  Register state is maintained from the recorded write-back
+values, so hooks that read the architectural register file at commit
+time (the B-Fetch engine's ARF mirror) observe byte-identical values.
+``index``/``instret``/``restarts`` are pure functions of the replay
+cursor, so the per-step fast path is one tuple unpack and at most one
+register assignment.
+
+Two situations leave the recorded window:
+
+* **live continuation** -- when a caller steps past the last record
+  (the CMP scheduler's keep-running overshoot does this on every mix
+  run), a real machine is materialised from the trailer's architectural
+  state and silently takes over;
+* **chunked execution** -- checkpoint/sanitizer runs drive the source
+  through the ordinary per-cycle loop; snapshots carry the replay
+  cursor, and cross-engine restores are rejected (the system
+  fingerprint carries an ``engine`` marker for the same reason).
+
+``verify_chunk`` is the sanitizer's differential oracle hook
+(``REPRO_CHECK=full``): it lazily advances a shadow lockstep machine
+and compares every recorded step against the live interpreter, raising
+:class:`~repro.trace.format.TraceError` on the first divergence.
+"""
+
+from bisect import bisect_right
+
+from repro.checkpoint import CheckpointError
+from repro.cpu.functional import K_HALT, Machine, decode_program, write_regs_of
+from repro.trace.format import TraceError
+
+
+class TraceReplaySource(object):
+    """Replays a :class:`~repro.trace.format.TraceData` as a machine.
+
+    :param workload: the :class:`~repro.workloads.Workload` the trace
+        was recorded from (program + initial memory image).
+    :param trace: the decoded trace; its metadata must already have been
+        validated against the workload identity by the store.
+    """
+
+    __slots__ = (
+        "program", "trace", "regs", "halted", "pos", "_workload",
+        "_records", "_reg_of", "_pc_of", "_instrs", "_halt_positions",
+        "_machine", "_shadow", "_shadow_pos",
+    )
+
+    def __init__(self, workload, trace):
+        self.program = workload.program
+        self.trace = trace
+        self._workload = workload
+        self._records = trace.records
+        self._reg_of = write_regs_of(workload.program)
+        self._pc_of = workload.program.pc_of
+        self._instrs = workload.program.instrs
+        decoded = decode_program(workload.program)
+        self._halt_positions = [
+            pos for pos, record in enumerate(trace.records)
+            if decoded[record[0]][0] == K_HALT
+        ]
+        self.regs = [0] * 32
+        self.halted = False
+        self.pos = 0
+        self._machine = None
+        self._shadow = None
+        self._shadow_pos = 0
+
+    # ------------------------------------------------------------------
+    # derived architectural cursor (Machine attribute parity)
+
+    @property
+    def index(self):
+        """Static index of the next instruction (``Machine.index``)."""
+        machine = self._machine
+        if machine is not None:
+            return machine.index
+        pos = self.pos
+        records = self._records
+        if pos < len(records):
+            return records[pos][0]
+        return self.trace.final_state["index"]
+
+    @property
+    def pc(self):
+        """Current architectural PC (same semantics as ``Machine.pc``)."""
+        return self._pc_of(self.index)
+
+    @property
+    def instret(self):
+        machine = self._machine
+        if machine is not None:
+            return machine.instret
+        return self.pos
+
+    @property
+    def restarts(self):
+        machine = self._machine
+        if machine is not None:
+            return machine.restarts
+        return bisect_right(self._halt_positions, self.pos - 1)
+
+    # ------------------------------------------------------------------
+
+    def step(self):
+        """Serve one recorded step; returns ``(instr, taken, ea)``.
+
+        Past the recorded window this transparently materialises a live
+        machine from the trailer and delegates.
+        """
+        pos = self.pos
+        records = self._records
+        if pos >= len(records):
+            return self._live_step()
+        index, taken, ea, value = records[pos]
+        self.pos = pos + 1
+        if value is not None:
+            self.regs[self._reg_of[index]] = value
+        return self._instrs[index], taken, ea
+
+    def _live_step(self):
+        machine = self._machine
+        if machine is None:
+            machine = self._make_live_machine()
+        return machine.step()
+
+    def _make_live_machine(self):
+        """Build a real machine at the trailer's architectural state."""
+        final = self.trace.final_state
+        memory = dict(self._workload.memory)
+        for addr, value in final["memory_delta"]:
+            memory[int(addr)] = value
+        machine = Machine(self.program, memory)
+        machine.regs = [int(value) for value in final["regs"]]
+        machine.index = final["index"]
+        machine.halted = final["halted"]
+        machine.instret = final["instret"]
+        machine.restarts = final["restarts"]
+        self._machine = machine
+        # share the register file object so hooks holding either alias
+        # observe the same architectural state
+        self.regs = machine.regs
+        return machine
+
+    def seek(self, pos):
+        """Jump the architectural cursor to record position *pos*.
+
+        Used by the fused replay engine to write its consumed-record
+        count back after a run; ``regs`` is expected to have been
+        maintained by the caller (it aliases this object's list).
+        """
+        self.pos = pos
+
+    # ------------------------------------------------------------------
+    # differential oracle (sanitizer REPRO_CHECK=full)
+
+    def verify_chunk(self, max_steps=4096):
+        """Cross-validate recorded steps against a live interpreter.
+
+        Lazily advances a shadow lockstep machine from the start of the
+        trace towards the current replay position, at most *max_steps*
+        per call (the sanitizer calls this at its full-mode cadence, so
+        the whole consumed prefix gets verified incrementally).  Raises
+        :class:`TraceError` on the first divergence.
+        """
+        shadow = self._shadow
+        if shadow is None:
+            shadow = self._shadow = Machine(
+                self.program, dict(self._workload.memory)
+            )
+        records = self._records
+        reg_of = self._reg_of
+        target = min(self.pos, self._shadow_pos + max_steps)
+        pos = self._shadow_pos
+        while pos < target:
+            index = shadow.index
+            expect_index, expect_taken, expect_ea, expect_value = records[pos]
+            if index != expect_index:
+                raise TraceError(
+                    "replay divergence at step %d: trace executes "
+                    "instruction %d, oracle executes %d"
+                    % (pos, expect_index, index)
+                )
+            _instr, taken, ea = shadow.step()
+            value = None
+            rd = reg_of[index]
+            if rd >= 0:
+                value = shadow.regs[rd]
+            if (taken, ea, value) != (expect_taken, expect_ea, expect_value):
+                raise TraceError(
+                    "replay divergence at step %d (instruction %d): trace "
+                    "has (taken=%r, ea=%r, value=%r), oracle has "
+                    "(taken=%r, ea=%r, value=%r)"
+                    % (pos, index, expect_taken, expect_ea, expect_value,
+                       taken, ea, value)
+                )
+            pos += 1
+        self._shadow_pos = pos
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+
+    def snapshot(self):
+        """Replay-aware architectural snapshot.
+
+        Shape-compatible with ``Machine.snapshot`` plus a ``replay_pos``
+        cursor.  While still inside the recorded window the memory image
+        is not tracked (it is reconstructible by replaying), so
+        ``memory`` is ``None``; once live continuation has begun the
+        real machine state is embedded.
+        """
+        if self._machine is not None:
+            state = self._machine.snapshot()
+            state["replay_pos"] = self.pos
+            return state
+        return {
+            "regs": list(self.regs),
+            "memory": None,
+            "index": self.index,
+            "halted": self.halted,
+            "instret": self.instret,
+            "restarts": self.restarts,
+            "replay_pos": self.pos,
+        }
+
+    def restore(self, state):
+        """Restore from :meth:`snapshot` output.
+
+        Lockstep snapshots (no ``replay_pos``) are rejected -- the
+        system fingerprint's engine marker should already have filtered
+        them, this is defence in depth.
+        """
+        pos = state.get("replay_pos")
+        if pos is None:
+            raise CheckpointError(
+                "lockstep checkpoint cannot restore into a trace-replay "
+                "source"
+            )
+        self.pos = pos
+        self.halted = state["halted"]
+        self._shadow = None
+        self._shadow_pos = 0
+        if state["memory"] is not None:
+            machine = Machine(self.program, {})
+            machine.restore({key: state[key] for key in (
+                "regs", "memory", "index", "halted", "instret", "restarts",
+            )})
+            self._machine = machine
+            self.regs = machine.regs
+        else:
+            self._machine = None
+            self.regs = [int(value) for value in state["regs"]]
+
+    def __len__(self):  # pragma: no cover - debugging nicety
+        return len(self._records)
