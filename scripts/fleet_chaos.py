@@ -1,0 +1,105 @@
+"""CI chaos drill: the fleet survives sustained worker-kill, losslessly.
+
+Boots a 3-worker fleet server with ``REPRO_FAULTS=worker-kill:0.3``
+exported to the worker subprocesses, drives a 50-job batch through the
+blocking client, and asserts the ISSUE acceptance bar:
+
+* **zero lost jobs** -- every submission reaches a terminal ``done``
+  state (worker deaths requeue, they never drop work);
+* **byte-identity** -- every result equals the serial
+  :meth:`ExperimentRunner.run_batch` reference computed in *this*
+  process (where the ``worker-*`` verbs never fire), proving that
+  kill-interrupted jobs resumed from the cache checkpoint and
+  converged;
+* **chaos actually happened** -- the ``serve.fleet.respawns`` /
+  ``serve.fleet.requeues`` counters are non-zero (a chaos drill where
+  nothing dies proves nothing).
+
+Run from the repo root::
+
+    python scripts/fleet_chaos.py [stats_out.json]
+
+Prints the ``serve.fleet.*`` counters as JSON on success (CI archives
+them as an artifact); exits non-zero on any violation.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))), "src"))
+
+WORKERS = 3
+FAULTS = "worker-kill:0.3:seed=11"
+BENCHMARKS = ("libquantum", "mcf")
+PREFETCHERS = ("none", "stride", "bfetch", "sms", "nextn")
+VARIANTS = range(5)   # 2 benchmarks x 5 prefetchers x 5 variants = 50
+INSTRUCTIONS = 2_000
+
+
+def main():
+    stats_out = sys.argv[1] if len(sys.argv) > 1 else None
+    os.environ["REPRO_FAULTS"] = FAULTS
+
+    from repro.serve import ServeClient, ServerThread
+    from repro.sim.runner import ExperimentRunner, RunRequest
+
+    grid = [(bench, prefetcher, variant)
+            for bench in BENCHMARKS
+            for prefetcher in PREFETCHERS
+            for variant in VARIANTS]
+    cache_dir = tempfile.mkdtemp(prefix="fleet-chaos-cache-")
+    with ServerThread(cache_dir=cache_dir, workers=WORKERS,
+                      beat_interval=0.25, heartbeat_interval=0,
+                      high_water=len(grid) + 8) as thread:
+        host, port = thread.address
+        with ServeClient(host, port, timeout=120) as client:
+            tickets = [
+                client.submit(bench, prefetcher,
+                              instructions=INSTRUCTIONS, variant=variant)
+                for bench, prefetcher, variant in grid
+            ]
+            results = []
+            for ticket in tickets:
+                reply = client.result(ticket["job_id"], wait=True)
+                assert reply["state"] == "done", \
+                    "lost job %s: %s" % (ticket["job_id"], reply)
+                results.append(reply["result"][0])
+            stats = client.statz()
+
+    # serial reference: worker-* verbs only fire inside fleet workers,
+    # so the same REPRO_FAULTS value is inert in this process
+    runner = ExperimentRunner(
+        cache_dir=tempfile.mkdtemp(prefix="fleet-chaos-ref-")
+    )
+    reference, _report = runner.run_batch(
+        [RunRequest(bench, prefetcher, INSTRUCTIONS, None, variant)
+         for bench, prefetcher, variant in grid]
+    )
+    mismatches = [
+        grid[i]
+        for i, (got, want) in enumerate(zip(results, reference))
+        if json.dumps(got, sort_keys=True)
+        != json.dumps(want.as_dict(), sort_keys=True)
+    ]
+    assert not mismatches, "diverged under chaos: %s" % mismatches
+
+    fleet_stats = {name: value for name, value in sorted(stats.items())
+                   if name.startswith("serve.fleet.")}
+    fleet_stats["jobs"] = len(grid)
+    assert stats["serve.jobs.completed"] == len(grid), stats
+    assert fleet_stats["serve.fleet.respawns"] > 0, \
+        "chaos drill killed no workers: %s" % fleet_stats
+    assert fleet_stats["serve.fleet.requeues"] > 0, fleet_stats
+    print("%d jobs, zero lost, byte-identical to serial reference"
+          % len(grid))
+    print(json.dumps(fleet_stats, indent=2, sort_keys=True))
+    if stats_out:
+        with open(stats_out, "w") as handle:
+            json.dump(fleet_stats, handle, indent=2, sort_keys=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -10,11 +10,16 @@ Commands
 ``list``       available benchmarks and prefetchers (``--json`` for the
                machine-readable catalog the job server also exposes)
 ``serve``      long-lived job server (submit/status/result/cancel/stream
-               over length-prefixed JSON frames; see docs/serving.md)
+               over length-prefixed JSON frames; see docs/serving.md);
+               ``--workers N`` runs a supervised subprocess fleet with
+               heartbeat liveness + worker-loss requeue (docs/fleet.md)
 ``submit``     submit a run or sweep to a running server and (by
-               default) wait for results, streaming progress
+               default) wait for results, streaming progress;
+               ``--deadline-ms`` sheds late jobs, ``--busy-retries``
+               retries busy-class rejections with deterministic backoff
 ``jobs``       list a server's jobs; ``--stats`` dumps its ``serve.*``
-               metrics registry
+               metrics registry; ``--workers`` shows the fleet +
+               breaker states
 ``bench-perf`` perf micro-harness (simulated instr/sec, BENCH_*.json)
 ``cache``      result/trace cache maintenance (``--stats`` per-kind
                totals, ``--gc --older-than AGE`` safe eviction)
@@ -457,6 +462,7 @@ def cmd_serve(args):
             heartbeat_interval=args.heartbeat,
             stats_path=args.stats_out, trace_path=args.trace_out,
             drain_grace=args.drain_grace,
+            workers=args.workers, beat_interval=args.beat_interval,
         )
         await server.start()
         loop = asyncio.get_running_loop()
@@ -483,9 +489,11 @@ def cmd_submit(args):
         "instructions": args.instructions, "variant": args.variant,
         "priority": args.priority, "retries": args.retries,
         "on_error": args.on_error, "task_timeout": args.task_timeout,
+        "deadline_ms": args.deadline_ms,
     }
     try:
-        with ServeClient(args.host, args.port) as client:
+        with ServeClient(args.host, args.port,
+                         busy_retries=args.busy_retries) as client:
             if len(args.benchmarks) == 1 and len(args.prefetchers) == 1:
                 ticket = client.submit(args.benchmarks[0],
                                        args.prefetchers[0], **kwargs)
@@ -548,6 +556,8 @@ def cmd_jobs(args):
                 for name in sorted(stats):
                     print("%-40s %s" % (name, stats[name]))
                 return 0
+            if args.workers:
+                return _print_fleet(client.fleet())
             reply = client.jobs(limit=args.limit)
     except ServeError as exc:
         print("error: %s" % exc, file=sys.stderr)
@@ -566,6 +576,32 @@ def cmd_jobs(args):
     queued = reply.get("queued") or []
     if queued:
         print("queued order: %s" % ", ".join(queued), file=sys.stderr)
+    return 0
+
+
+def _print_fleet(reply):
+    """Render the ``fleet`` endpoint: worker rows + breaker states."""
+    workers = reply.get("workers") or []
+    if reply.get("mode") != "fleet":
+        print("server is running the in-process tier (no fleet); "
+              "start it with --workers N", file=sys.stderr)
+    else:
+        print("%-7s %-8s %-9s %-8s %7s %9s %9s"
+              % ("WORKER", "PID", "STATE", "JOB", "MISSED", "RESPAWNS",
+                 "DONE"))
+        for row in workers:
+            print("%-7d %-8s %-9s %-8s %7d %9d %9d"
+                  % (row["worker"], row.get("pid") or "-", row["state"],
+                     row.get("job") or "-", row["beats_missed"],
+                     row["respawns"], row["jobs_done"]))
+    breakers = reply.get("breakers") or {}
+    open_ones = {name: snap for name, snap in breakers.items()
+                 if snap.get("state") != "closed"}
+    if open_ones:
+        for name, snap in sorted(open_ones.items()):
+            print("breaker %-12s %s (failure rate %.2f over %d)"
+                  % (name, snap["state"], snap["failure_rate"],
+                     snap["events"]), file=sys.stderr)
     return 0
 
 
@@ -755,7 +791,16 @@ def build_parser():
                        help="admission-queue bound; submissions past it "
                             "get a typed 'busy' error (default: 64)")
     serve.add_argument("--max-concurrent", type=_positive_int, default=2,
-                       help="jobs executing simultaneously (default: 2)")
+                       help="jobs executing simultaneously (default: 2; "
+                            "ignored with --workers)")
+    serve.add_argument("--workers", type=int, default=None,
+                       metavar="N",
+                       help="run N supervised worker subprocesses with "
+                            "heartbeat liveness + loss requeue (default: "
+                            "REPRO_WORKERS or 0 = in-process tier)")
+    serve.add_argument("--beat-interval", type=_positive_float,
+                       default=1.0, metavar="SECONDS",
+                       help="fleet worker heartbeat period (default: 1)")
     serve.add_argument("--batch-jobs", type=_positive_int, default=1,
                        help="worker processes per job batch "
                             "(default: 1 = in-thread serial)")
@@ -797,6 +842,15 @@ def build_parser():
     submit.add_argument("--priority", type=int, default=0,
                         help="queue priority, higher runs first "
                              "(default: 0)")
+    submit.add_argument("--deadline-ms", type=_positive_int, default=None,
+                        metavar="MS",
+                        help="shed the job with a deadline-exceeded error "
+                             "if not finished within MS milliseconds")
+    submit.add_argument("--busy-retries", type=int, default=0,
+                        metavar="N",
+                        help="retry busy-class rejections (busy / "
+                             "circuit-open) up to N times with "
+                             "deterministic backoff (default: 0)")
     submit.add_argument("--no-wait", action="store_true",
                         help="print the job id and exit without waiting")
     submit.add_argument("--stream", action="store_true",
@@ -810,6 +864,10 @@ def build_parser():
                       help="job summaries to fetch (default: 50)")
     jobs.add_argument("--stats", action="store_true",
                       help="dump the server's serve.* metrics instead")
+    jobs.add_argument("--workers", action="store_true",
+                      help="show the worker fleet (id, state, current "
+                           "job, missed beats, respawns) and any "
+                           "non-closed circuit breakers instead")
     _add_server_address(jobs)
     jobs.set_defaults(func=cmd_jobs)
     return parser

@@ -3,6 +3,7 @@
 from repro.perf.harness import (
     COMPONENTS,
     bench_component,
+    bench_fleet,
     bench_serve,
     bench_sweep,
     bench_trace_replay,
@@ -14,6 +15,7 @@ from repro.perf.harness import (
 __all__ = [
     "COMPONENTS",
     "bench_component",
+    "bench_fleet",
     "bench_serve",
     "bench_sweep",
     "bench_trace_replay",

@@ -258,6 +258,99 @@ def bench_serve(benchmarks=("libquantum", "mcf"),
     }
 
 
+def bench_fleet(benchmarks=("libquantum", "mcf"),
+                prefetchers=("none", "bfetch"),
+                instructions=4_000, variants=3,
+                worker_counts=(1, 2, 4),
+                chaos="worker-kill:0.3:seed=11"):
+    """Fleet-tier throughput scaling, with and without worker chaos.
+
+    For each worker count, boots a fresh fleet server (subprocess
+    workers, cold cache) and drives the same ``len(benchmarks) x
+    len(prefetchers) x variants`` single-run batch through one client,
+    twice: a clean pass and a pass under *chaos* (``worker-kill``
+    exported to the worker subprocesses).  Each phase records jobs/s
+    plus the server's own ``serve.latency.computed`` p50/p99 and the
+    ``serve.fleet.*`` recovery counters, so the numbers quantify two
+    things at once:
+
+    * **scaling** -- how jobs/s moves from 1 to 2 to 4 workers (process
+      isolation buys real parallelism; the in-process tier shares the
+      GIL);
+    * **chaos tax** -- what sustained worker loss costs end to end when
+      every kill is absorbed by requeue + cache-checkpoint resume
+      (every job still completes; the phase asserts it).
+    """
+    from repro.serve import ServeClient, ServerThread
+
+    grid = [
+        (bench, prefetcher, variant)
+        for bench in benchmarks
+        for prefetcher in prefetchers
+        for variant in range(variants)
+    ]
+
+    def phase(workers, faults):
+        previous = os.environ.pop("REPRO_FAULTS", None)
+        if faults:
+            os.environ["REPRO_FAULTS"] = faults
+        try:
+            with tempfile.TemporaryDirectory() as cache_dir:
+                with ServerThread(cache_dir=cache_dir, workers=workers,
+                                  beat_interval=0.25,
+                                  heartbeat_interval=0,
+                                  high_water=len(grid) + 8) as server:
+                    host, port = server.address
+                    start = time.perf_counter()
+                    with ServeClient(host, port, timeout=300.0) as conn:
+                        tickets = [
+                            conn.submit(bench, prefetcher,
+                                        instructions=instructions,
+                                        variant=variant)
+                            for bench, prefetcher, variant in grid
+                        ]
+                        for ticket in tickets:
+                            reply = conn.result(ticket["job_id"],
+                                                wait=True)
+                            assert reply["state"] == "done", reply
+                        seconds = time.perf_counter() - start
+                        stats = conn.statz()
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_FAULTS", None)
+            else:
+                os.environ["REPRO_FAULTS"] = previous
+        latency = {
+            key[len("serve.latency.computed."):]: value
+            for key, value in stats.items()
+            if key.startswith("serve.latency.computed.")
+        }
+        return {
+            "workers": workers,
+            "chaos": bool(faults),
+            "jobs": len(grid),
+            "seconds": seconds,
+            "jobs_per_sec": len(grid) / seconds if seconds else 0.0,
+            "latency_p50": latency.get("p50"),
+            "latency_p99": latency.get("p99"),
+            "respawns": stats.get("serve.fleet.respawns"),
+            "requeues": stats.get("serve.fleet.requeues"),
+        }
+
+    phases = []
+    for workers in worker_counts:
+        phases.append(phase(workers, None))
+        phases.append(phase(workers, chaos))
+    return {
+        "benchmarks": list(benchmarks),
+        "prefetchers": list(prefetchers),
+        "instructions_per_run": instructions,
+        "variants": variants,
+        "chaos_spec": chaos,
+        "phases": phases,
+    }
+
+
 def bench_trace_replay(benchmarks=("libquantum", "mcf"),
                        prefetchers=SWEEP_PREFETCHERS,
                        instructions=10_000, policy=None):
@@ -382,8 +475,10 @@ def run_perf_suite(benchmark="libquantum", instructions=30_000,
         serial-vs-parallel sweep comparison; None/empty skips the sweep.
     :param policy: optional :class:`~repro.resilience.FailurePolicy` for
         the sweep passes (retries/timeouts on flaky hosts).
-    :param serve: when true, also run :func:`bench_serve` and attach the
-        job-server round-trip numbers under the ``serve`` key.
+    :param serve: when true, also run :func:`bench_serve` and
+        :func:`bench_fleet`, attaching the job-server round-trip
+        numbers under ``serve`` and the fleet scaling/chaos phases
+        under ``fleet``.
     :param trace_replay: when true, also run :func:`bench_trace_replay`
         and attach its record/replay/repeated-sweep numbers under the
         ``trace_replay`` key.
@@ -406,6 +501,7 @@ def run_perf_suite(benchmark="libquantum", instructions=30_000,
         )
     if serve:
         payload["serve"] = bench_serve(instructions=serve_instructions)
+        payload["fleet"] = bench_fleet(instructions=serve_instructions)
     if trace_replay:
         payload["trace_replay"] = bench_trace_replay(
             instructions=trace_replay_instructions, policy=policy,
@@ -487,4 +583,19 @@ def render_summary(payload):
                     % (series, block.get("p50", 0.0),
                        block.get("p95", 0.0), block.get("mean", 0.0))
                 )
+    fleet = payload.get("fleet")
+    if fleet:
+        lines.append(
+            "  fleet: %d jobs/phase  chaos=%s"
+            % (fleet["phases"][0]["jobs"], fleet["chaos_spec"])
+        )
+        for row in fleet["phases"]:
+            lines.append(
+                "    %d worker%s %-7s %6.2f jobs/s  p50 %.4fs  "
+                "p99 %.4fs  respawns %s"
+                % (row["workers"], "s" if row["workers"] != 1 else " ",
+                   "chaos" if row["chaos"] else "clean",
+                   row["jobs_per_sec"], row["latency_p50"] or 0.0,
+                   row["latency_p99"] or 0.0, row["respawns"])
+            )
     return "\n".join(lines)

@@ -21,8 +21,22 @@ Each spec is ``kind:probability[:opt=value...]``.  Supported kinds:
   exercising the ``REPRO_CHECK`` invariant sanitizer and the
   checkpoint-replay auto-bisect.
 
+Fleet verbs (consulted only by the serve tier's worker subprocesses,
+see :mod:`repro.serve.supervisor`):
+
+* ``worker-kill``    -- the worker process hard-exits (``os._exit``) at
+  a deterministic job/task boundary, exercising worker-loss detection,
+  respawn and in-flight-job requeue;
+* ``worker-hang``    -- the worker freezes: its heartbeat thread is
+  suspended and the main loop sleeps, so the supervisor's missed-beat
+  liveness check must declare it dead and requeue its job;
+* ``worker-slow``    -- the worker sleeps ``ms`` milliseconds (default
+  :data:`DEFAULT_SLOW_MS`) at each boundary, simulating a straggler
+  host without killing anything.
+
 Options: ``seed=N`` (per-spec decision seed, default 0), ``dur=F``
-(hang duration, seconds) and ``cycle=N`` (corrupt-state trigger cycle).
+(hang duration, seconds), ``cycle=N`` (corrupt-state trigger cycle)
+and ``ms=F`` (worker-slow delay, milliseconds).
 
 Determinism contract -- what makes the chaos tests assert byte-identical
 recovery:
@@ -30,8 +44,9 @@ recovery:
 * whether a fault fires for a given job is a pure function of
   ``(seed, kind, task key)`` (SHA-1 threshold test), so the same sweep
   under the same ``REPRO_FAULTS`` always injects the same faults;
-* ``crash``/``hang`` fire only on a job's *first* attempt, so a retried
-  job always converges;
+* ``crash``/``hang``/``worker-kill``/``worker-hang`` fire only on a
+  job's *first* attempt, so a retried (or requeued) job always
+  converges;
 * ``corrupt-cache`` fires at most once per cache path per process, so a
   detected-and-recomputed entry is rewritten clean.
 """
@@ -40,7 +55,8 @@ import hashlib
 import os
 import time
 
-FAULT_KINDS = ("crash", "hang", "corrupt-cache", "corrupt-state")
+FAULT_KINDS = ("crash", "hang", "corrupt-cache", "corrupt-state",
+               "worker-kill", "worker-hang", "worker-slow")
 
 ENV_FAULTS = "REPRO_FAULTS"
 
@@ -53,6 +69,9 @@ _DEFAULT_HANG_SECONDS = 5.0
 # option overrides it
 DEFAULT_CORRUPT_CYCLE = 1000
 
+# worker-slow straggler delay when no ``ms=F`` option overrides it
+DEFAULT_SLOW_MS = 50.0
+
 # garbage written in place of a real entry by ``corrupt-cache``
 CORRUPT_PAYLOAD = '{"v": 2, "sha": "deadbeef", "data": {"trunca'
 
@@ -62,12 +81,12 @@ class InjectedCrash(RuntimeError):
 
 
 class FaultSpec(object):
-    """One parsed fault: kind, probability, seed, optional duration or
-    trigger cycle."""
+    """One parsed fault: kind, probability, seed, optional duration,
+    trigger cycle or straggler delay."""
 
-    __slots__ = ("kind", "prob", "seed", "dur", "cycle")
+    __slots__ = ("kind", "prob", "seed", "dur", "cycle", "ms")
 
-    def __init__(self, kind, prob, seed=0, dur=None, cycle=None):
+    def __init__(self, kind, prob, seed=0, dur=None, cycle=None, ms=None):
         if kind not in FAULT_KINDS:
             raise ValueError("unknown fault kind %r (choose from %s)"
                              % (kind, ", ".join(FAULT_KINDS)))
@@ -76,15 +95,20 @@ class FaultSpec(object):
                              % (prob,))
         if cycle is not None and cycle < 1:
             raise ValueError("fault cycle must be >= 1, got %r" % (cycle,))
+        if ms is not None and ms < 0:
+            raise ValueError("fault ms must be >= 0, got %r" % (ms,))
         self.kind = kind
         self.prob = prob
         self.seed = seed
         self.dur = dur
         self.cycle = cycle
+        self.ms = ms
 
     def __repr__(self):
-        return ("FaultSpec(kind=%r, prob=%r, seed=%r, dur=%r, cycle=%r)"
-                % (self.kind, self.prob, self.seed, self.dur, self.cycle))
+        return ("FaultSpec(kind=%r, prob=%r, seed=%r, dur=%r, cycle=%r, "
+                "ms=%r)"
+                % (self.kind, self.prob, self.seed, self.dur, self.cycle,
+                   self.ms))
 
 
 def parse_faults(text):
@@ -123,9 +147,11 @@ def parse_faults(text):
                 options["dur"] = float(value)
             elif name == "cycle":
                 options["cycle"] = int(value)
+            elif name == "ms":
+                options["ms"] = float(value)
             else:
                 raise ValueError("unknown fault option %r in %r "
-                                 "(supported: seed, dur, cycle)"
+                                 "(supported: seed, dur, cycle, ms)"
                                  % (name, chunk))
         if kind in specs:
             raise ValueError("duplicate fault kind %r" % (kind,))
@@ -186,6 +212,26 @@ class FaultPlan(object):
             return None
         self._corrupted.add(key)
         return CORRUPT_PAYLOAD
+
+    def should_worker_kill(self, key, attempt=0):
+        """Worker-kill faults fire only on a job's first assignment."""
+        return attempt == 0 and self._fires("worker-kill", key)
+
+    def should_worker_hang(self, key, attempt=0):
+        """Worker-hang faults fire only on a job's first assignment."""
+        return attempt == 0 and self._fires("worker-hang", key)
+
+    def worker_slow_seconds(self, key):
+        """Straggler delay (seconds) for this boundary, or 0.0.
+
+        Unlike the lethal verbs, ``worker-slow`` fires on every attempt
+        -- a slow host stays slow -- so requeued jobs see it too.
+        """
+        spec = self.specs.get("worker-slow")
+        if spec is None or not self._fires("worker-slow", key):
+            return 0.0
+        ms = spec.ms if spec.ms is not None else DEFAULT_SLOW_MS
+        return ms / 1000.0
 
     def corrupt_state_cycle(self, key, attempt=0):
         """Cycle at which ``corrupt-state`` fires for this run, or None.

@@ -13,14 +13,24 @@ service:
   tests and the ``repro submit`` / ``repro jobs`` CLI.
 * :class:`ServerThread` -- run a server on a background thread with
   its own event loop (tests, benchmarks, notebooks).
+* :class:`WorkerSupervisor` -- the fleet backend (``--workers N``):
+  supervised worker subprocesses with heartbeat liveness, respawn
+  under deterministic backoff, and worker-loss requeue
+  (``docs/fleet.md``).
+* :class:`BreakerBoard` -- per-benchmark circuit breakers shedding
+  persistently-failing workloads with typed ``circuit-open`` errors.
 
-See ``docs/serving.md`` for a worked example.
+See ``docs/serving.md`` and ``docs/fleet.md`` for worked examples.
 """
 
+from repro.serve.breaker import BreakerBoard, CircuitBreaker
 from repro.serve.client import ServeClient, ServeError
+from repro.serve.fleet import DeadlineExceeded, WorkerSupervisor
+from repro.serve.health import WorkerHealth
 from repro.serve.jobs import Job, JobTable
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (
+    BUSY_CLASS_CODES,
     ERROR_CODES,
     FrameDecoder,
     MAX_FRAME_BYTES,
@@ -30,10 +40,15 @@ from repro.serve.protocol import (
 )
 from repro.serve.queue import AdmissionQueue, QueueFull
 from repro.serve.server import JobServer, ServerThread
+from repro.serve.supervisor import WorkerLost, WorkerProcess
 from repro.serve.workers import JobCancelled, WorkerTier
 
 __all__ = [
     "AdmissionQueue",
+    "BUSY_CLASS_CODES",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "DeadlineExceeded",
     "ERROR_CODES",
     "FrameDecoder",
     "Job",
@@ -47,6 +62,10 @@ __all__ = [
     "ServeError",
     "ServeMetrics",
     "ServerThread",
+    "WorkerHealth",
+    "WorkerLost",
+    "WorkerProcess",
+    "WorkerSupervisor",
     "WorkerTier",
     "decode_payload",
     "encode_frame",

@@ -15,6 +15,15 @@ Server-side typed errors (``busy``, ``bad-request``, ``unknown-job``,
 wire ``code`` preserved, so callers can implement backoff with a
 simple ``except ServeError as e: if e.code == "busy"``.
 
+Busy-class errors (``busy`` from admission control, ``circuit-open``
+from a tripped breaker) are *transient by contract*: construct the
+client with ``busy_retries=N`` (or pass it per submit) and submissions
+retry up to N times under the repository's deterministic exponential
+backoff (:func:`repro.resilience.backoff_delay` -- same message, same
+schedule).  ``deadline-exceeded`` is a hard stop: the deadline the
+caller itself set has passed, so retrying is never correct and the
+client never does.
+
 Example::
 
     from repro.serve import ServeClient
@@ -31,10 +40,11 @@ Example::
 """
 
 import socket
+import time
 from collections import deque
 
 from repro.serve import protocol
-from repro.serve.protocol import FrameDecoder, ProtocolError
+from repro.serve.protocol import BUSY_CLASS_CODES, FrameDecoder, ProtocolError
 
 DEFAULT_PORT = 7861
 
@@ -59,12 +69,18 @@ class ServeClient(object):
     :param timeout: socket timeout, seconds, for connect and for every
         non-waiting call; waiting calls (``result(wait=True)``,
         ``stream``) disable it for the blocking read.
+    :param busy_retries: default retry budget for busy-class submission
+        rejections (``busy`` / ``circuit-open``); ``0`` (the default)
+        preserves fail-fast behaviour.  Retries sleep the deterministic
+        backoff schedule derived from the submission payload.
     """
 
-    def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, timeout=30.0):
+    def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, timeout=30.0,
+                 busy_retries=0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.busy_retries = busy_retries
         self._sock = None
         self._decoder = None
         self._pending = deque()
@@ -146,9 +162,13 @@ class ServeClient(object):
         """Job summaries (newest first) plus the queued-id order."""
         return self._request({"type": "jobs", "limit": limit})
 
+    def fleet(self):
+        """Worker fleet snapshot + circuit breaker states."""
+        return self._request({"type": "fleet"})
+
     def submit(self, benchmark, prefetcher="none", instructions=None,
                variant=0, priority=0, retries=None, on_error=None,
-               task_timeout=None):
+               task_timeout=None, deadline_ms=None, busy_retries=None):
         """Submit one single-run job; returns the submission ticket.
 
         The ticket carries ``job_id`` and ``coalesced`` (True when this
@@ -160,11 +180,12 @@ class ServeClient(object):
             "priority": priority,
         }
         return self._submit(message, instructions, retries, on_error,
-                            task_timeout)
+                            task_timeout, deadline_ms, busy_retries)
 
     def submit_sweep(self, benchmarks, prefetchers, instructions=None,
                      variant=0, priority=0, retries=None, on_error=None,
-                     task_timeout=None):
+                     task_timeout=None, deadline_ms=None,
+                     busy_retries=None):
         """Submit a ``benchmarks x prefetchers`` sweep as one job."""
         message = {
             "type": "submit", "kind": "sweep",
@@ -173,10 +194,10 @@ class ServeClient(object):
             "variant": variant, "priority": priority,
         }
         return self._submit(message, instructions, retries, on_error,
-                            task_timeout)
+                            task_timeout, deadline_ms, busy_retries)
 
     def _submit(self, message, instructions, retries, on_error,
-                task_timeout):
+                task_timeout, deadline_ms=None, busy_retries=None):
         if instructions is not None:
             message["instructions"] = instructions
         if retries is not None:
@@ -185,7 +206,37 @@ class ServeClient(object):
             message["on_error"] = on_error
         if task_timeout is not None:
             message["task_timeout"] = task_timeout
-        return self._request(message)
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        budget = (self.busy_retries if busy_retries is None
+                  else busy_retries)
+        return self._submit_with_retries(message, budget)
+
+    def _submit_with_retries(self, message, budget):
+        """Bounded, deterministic retry loop for busy-class rejections.
+
+        ``deadline-exceeded`` (and every non-busy code) propagates
+        immediately -- only load-shedding rejections are transient.
+        The backoff schedule is a pure function of the submission
+        payload, so identical clients under identical rejection storms
+        retry identically (and de-synchronise *across* different
+        submissions).
+        """
+        import json as _json
+
+        from repro.resilience import FailurePolicy, backoff_delay
+
+        policy = FailurePolicy()
+        key = _json.dumps(message, sort_keys=True)
+        attempt = 0
+        while True:
+            try:
+                return self._request(message)
+            except ServeError as exc:
+                if exc.code not in BUSY_CLASS_CODES or attempt >= budget:
+                    raise
+            time.sleep(backoff_delay(policy, key, attempt))
+            attempt += 1
 
     def status(self, job_id):
         return self._request({"type": "status", "job_id": job_id})

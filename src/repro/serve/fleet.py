@@ -1,0 +1,241 @@
+"""The worker fleet: supervision, loss recovery, and requeue.
+
+A :class:`WorkerSupervisor` is the fleet-mode drop-in for
+:class:`~repro.serve.workers.WorkerTier`: the server calls the same
+``run_job(loop, job, progress_cb)`` coroutine, but execution happens in
+N supervised worker *subprocesses* (:mod:`repro.serve.supervisor`)
+instead of server threads.  What that buys:
+
+* **isolation** -- a worker crash, hang, or injected fault never
+  touches the server process; the blast radius of ``worker-kill:0.3``
+  is one job attempt, not the service;
+* **liveness** -- every worker heartbeats; ``max_missed`` silent
+  intervals and the supervisor kills + replaces it
+  (:mod:`repro.serve.health`);
+* **recovery** -- a job in flight on a dead worker is *requeued* onto
+  the next free worker with ``attempt + 1``.  Because every completed
+  task is persisted in the shared result cache (cache-as-checkpoint,
+  PR 2/4) and the lethal chaos verbs fire only on ``attempt == 0``,
+  the re-execution resumes from the kill point and converges
+  byte-identically to the serial reference -- the acceptance bar the
+  chaos tests assert;
+* **bounded respawn** -- replacement workers come up under the
+  deterministic exponential backoff of :mod:`repro.resilience.retry`
+  (keyed by worker slot), so a crash-looping fleet cannot hot-spin.
+
+Deadlines terminate here too: a job whose ``deadline_ms`` expired while
+queued or between requeues raises :class:`DeadlineExceeded` instead of
+burning a worker on an answer nobody is waiting for.
+"""
+
+import asyncio
+import time
+from dataclasses import asdict, replace
+
+from repro.resilience import FailurePolicy, SimulationError, backoff_delay
+from repro.serve.supervisor import WorkerLost, WorkerProcess
+from repro.serve.workers import JobCancelled
+
+#: requeues tolerated per job before it is failed outright (defensive:
+#: lethal faults fire only on attempt 0, so >1 losses means real,
+#: persistent trouble -- a poisoned host, an OOM-killer sweep)
+DEFAULT_MAX_REQUEUES = 4
+
+#: backoff schedule for respawning dead workers (keyed per slot)
+RESPAWN_POLICY = FailurePolicy(retries=0, backoff_base=0.05,
+                               backoff_factor=2.0, backoff_max=2.0,
+                               jitter=0.5, seed=0)
+
+
+class DeadlineExceeded(Exception):
+    """The job's deadline expired before (or between) execution."""
+
+
+class WorkerSupervisor(object):
+    """Owns N worker subprocesses and schedules jobs onto them.
+
+    :param cache_dir: shared result-cache directory handed to every
+        worker (the checkpoint substrate that makes requeue a resume).
+    :param workers: fleet size (``REPRO_WORKERS`` /
+        ``repro serve --workers N`` upstream).
+    :param beat_interval: worker heartbeat period, seconds.
+    :param max_missed: missed beats before a worker is declared dead.
+    :param policy: default :class:`FailurePolicy` (same semantics as
+        :class:`WorkerTier`); per-job overrides layer on top.
+    :param batch_jobs: process-pool width *inside* each worker.
+    :param metrics: :class:`~repro.serve.metrics.ServeMetrics` for the
+        ``fleet.*`` counters (respawns / requeues); optional.
+    :param max_requeues: worker losses tolerated per job.
+    """
+
+    def __init__(self, cache_dir=None, workers=2, beat_interval=1.0,
+                 max_missed=4, policy=None, batch_jobs=1, metrics=None,
+                 max_requeues=DEFAULT_MAX_REQUEUES,
+                 respawn_policy=RESPAWN_POLICY, spawn_timeout=30.0):
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % (workers,))
+        self.cache_dir = cache_dir
+        self.policy = policy
+        self.metrics = metrics
+        self.max_requeues = max_requeues
+        self.respawn_policy = respawn_policy
+        self.workers = [
+            WorkerProcess(index, cache_dir=cache_dir,
+                          beat_interval=beat_interval,
+                          max_missed=max_missed, batch_jobs=batch_jobs,
+                          spawn_timeout=spawn_timeout)
+            for index in range(workers)
+        ]
+        self._idle = None     # asyncio.Queue of WorkerProcess
+        self._stopping = False
+
+    @property
+    def max_concurrent(self):
+        """Concurrency the server should admit (one job per worker)."""
+        return len(self.workers)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self):
+        self._idle = asyncio.Queue()
+        await asyncio.gather(*(worker.spawn() for worker in self.workers))
+        for worker in self.workers:
+            self._idle.put_nowait(worker)
+        return self
+
+    async def shutdown(self, timeout=10.0):
+        """Drain the fleet: graceful shutdown frames, then the hammer.
+
+        Must terminate promptly even when workers are already dead or
+        frozen -- every worker gets a best-effort shutdown frame, a
+        bounded wait, then a kill.
+        """
+        self._stopping = True
+        await asyncio.gather(*(worker.request_shutdown()
+                               for worker in self.workers))
+        deadline = time.monotonic() + timeout
+        for worker in self.workers:
+            proc = worker._proc
+            if proc is not None and proc.returncode is None:
+                remaining = max(0.1, deadline - time.monotonic())
+                try:
+                    await asyncio.wait_for(proc.wait(), remaining)
+                except asyncio.TimeoutError:
+                    worker.kill()
+            await worker.reap()
+            worker.state = "stopped"
+
+    # -- policy --------------------------------------------------------
+
+    def job_policy(self, job):
+        """Effective :class:`FailurePolicy` for *job* (env + overrides)."""
+        base = self.policy
+        if base is None:
+            base = FailurePolicy.from_env()
+        overrides = job.spec.get("policy") or {}
+        if overrides:
+            base = replace(base, **overrides)
+        return base
+
+    # -- scheduling ----------------------------------------------------
+
+    def _bump(self, name, n=1):
+        if self.metrics is not None:
+            self.metrics.bump(name, n)
+
+    async def _acquire(self):
+        """Next live worker, respawning dead slots under backoff."""
+        while True:
+            worker = await self._idle.get()
+            if worker.alive:
+                return worker
+            await self._respawn(worker)
+            if worker.alive:
+                return worker
+            # spawn failed: push to the back and keep trying others
+            self._idle.put_nowait(worker)
+            await asyncio.sleep(0.05)
+
+    async def _respawn(self, worker):
+        """Replace a dead worker's subprocess (deterministic backoff)."""
+        await worker.reap()
+        delay = backoff_delay(self.respawn_policy, "worker-%d" % worker.id,
+                              min(worker.respawns, 6))
+        if delay > 0:
+            await asyncio.sleep(delay)
+        worker.respawns += 1
+        self._bump("fleet.respawns")
+        try:
+            await worker.spawn()
+        except WorkerLost:
+            worker.state = "dead"
+
+    def _release(self, worker):
+        self._idle.put_nowait(worker)
+
+    async def run_job(self, loop, job, progress_cb=None):
+        """Execute *job* on the fleet; returns ``(results, report)``.
+
+        Same contract as :meth:`WorkerTier.run_job`: raises
+        :class:`JobCancelled` on cooperative cancel,
+        :class:`SimulationError` on structured failure -- plus
+        :class:`DeadlineExceeded` when the job's deadline expires
+        before a worker can finish it.
+        """
+        policy_fields = asdict(self.job_policy(job))
+        attempt = 0
+        while True:
+            if job.deadline_expired:
+                raise DeadlineExceeded(job.id)
+            worker = await self._acquire()
+            if job.cancel_requested:
+                self._release(worker)
+                raise JobCancelled(job.id)
+
+            def on_progress(job_, done, total):
+                if progress_cb is not None:
+                    progress_cb(job_, done, total)
+
+            outcome, detail = await worker.execute(
+                job, attempt, policy_fields, on_progress
+            )
+            if outcome == "done":
+                self._release(worker)
+                payload, report = detail
+                return payload, report
+            if outcome == "cancelled":
+                # the worker was killed to interrupt the job; respawn
+                # happens lazily on next acquire
+                self._release(worker)
+                raise JobCancelled(job.id)
+            if outcome == "error":
+                self._release(worker)
+                info = detail or {}
+                if info.get("code") == "deadline-exceeded":
+                    raise DeadlineExceeded(job.id)
+                error = SimulationError(
+                    "worker %d: %s" % (worker.id,
+                                       info.get("message", "job failed")),
+                    attempts=info.get("attempts", attempt + 1),
+                )
+                error.worker_error_type = info.get("error_type")
+                raise error
+            # lost: the worker died (or went silent) holding the job
+            self._release(worker)   # dead slot; _acquire respawns it
+            self._bump("fleet.requeues")
+            attempt += 1
+            if attempt > self.max_requeues:
+                raise SimulationError(
+                    "job %s lost %d workers (last: %s); giving up"
+                    % (job.id, attempt, detail),
+                    attempts=attempt,
+                )
+
+    # -- observability -------------------------------------------------
+
+    def snapshot(self):
+        """Per-worker rows for the ``fleet`` endpoint."""
+        return [worker.snapshot() for worker in self.workers]
+
+    def live_count(self):
+        return sum(1 for worker in self.workers if worker.alive)

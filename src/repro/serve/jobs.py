@@ -37,10 +37,11 @@ class Job(object):
         "id", "key", "kind", "spec", "requests", "priority", "state",
         "created", "started", "finished", "result", "error", "done_count",
         "done_total", "clients", "cancel_requested", "report",
-        "subscribers", "_done_event", "events_seq",
+        "subscribers", "_done_event", "events_seq", "deadline",
     )
 
-    def __init__(self, job_id, key, kind, spec, requests, priority=0):
+    def __init__(self, job_id, key, kind, spec, requests, priority=0,
+                 deadline_ms=None):
         self.id = job_id
         self.key = key
         self.kind = kind
@@ -49,6 +50,10 @@ class Job(object):
         self.priority = priority
         self.state = "queued"
         self.created = time.monotonic()
+        # absolute monotonic deadline; None = no deadline.  Checked
+        # lazily at pop/dispatch/requeue boundaries (never by a timer).
+        self.deadline = (self.created + deadline_ms / 1000.0
+                         if deadline_ms is not None else None)
         self.started = None
         self.finished = None
         self.result = None
@@ -67,6 +72,11 @@ class Job(object):
     @property
     def terminal(self):
         return self.state in TERMINAL_STATES
+
+    @property
+    def deadline_expired(self):
+        """True when a deadline is set and has passed (monotonic)."""
+        return self.deadline is not None and time.monotonic() > self.deadline
 
     @property
     def latency(self):
@@ -107,6 +117,8 @@ class Job(object):
             "cancel_requested": self.cancel_requested,
             "age_seconds": round(now - self.created, 6),
         }
+        if self.deadline is not None:
+            snap["deadline_remaining"] = round(self.deadline - now, 6)
         if self.started is not None:
             reference = self.finished if self.finished is not None else now
             snap["run_seconds"] = round(reference - self.started, 6)
@@ -141,10 +153,12 @@ class JobTable(object):
     def __len__(self):
         return len(self._jobs)
 
-    def new_job(self, key, kind, spec, requests, priority=0):
+    def new_job(self, key, kind, spec, requests, priority=0,
+                deadline_ms=None):
         """Create, index and return a fresh queued job."""
         job_id = "j%06d" % next(self._seq)
-        job = Job(job_id, key, kind, spec, requests, priority)
+        job = Job(job_id, key, kind, spec, requests, priority,
+                  deadline_ms=deadline_ms)
         self._jobs[job_id] = job
         self._active[key] = job
         return job

@@ -23,8 +23,12 @@ Taxonomy::
     serve.runs.cache_hits / computed / skipped   per-batch outcomes
     serve.runs.retries / crashes / timeouts  resilience events surfaced
     serve.cache.hit_ratio                    hits / (hits + computed)
-    serve.latency.{p50,p95,mean,count}[...]  job latency, cached vs computed
+    serve.latency.{p50,p95,p99,mean,count}[...]  job latency, cached vs computed
     serve.uptime_seconds / serve.jobs_per_second   throughput
+    serve.fleet.respawns / requeues / sheds  worker-loss recovery events
+    serve.fleet.breaker.{opened,half_open,closed}  breaker transitions
+    serve.fleet.workers / workers_live       fleet size / live workers
+    serve.jobs.rejected_circuit              breaker-bounced submissions
 
 Latency quantiles are computed over a bounded sliding window
 (:data:`LATENCY_WINDOW` most recent jobs) so a long-lived server's
@@ -51,6 +55,7 @@ _COUNTERS = (
     ("jobs.accepted", "submissions admitted as new jobs"),
     ("jobs.coalesced", "submissions coalesced onto a live job"),
     ("jobs.rejected_busy", "submissions bounced by admission control"),
+    ("jobs.rejected_circuit", "submissions bounced by an open breaker"),
     ("jobs.rejected_invalid", "submissions failing validation"),
     ("jobs.completed", "jobs finished successfully"),
     ("jobs.failed", "jobs finished with a structured failure"),
@@ -62,6 +67,12 @@ _COUNTERS = (
     ("runs.retries", "run retries performed by the batch engine"),
     ("runs.crashes", "worker crashes absorbed by the batch engine"),
     ("runs.timeouts", "hung runs detected by the batch engine"),
+    ("fleet.respawns", "dead fleet workers replaced by the supervisor"),
+    ("fleet.requeues", "in-flight jobs requeued after a worker loss"),
+    ("fleet.sheds", "jobs shed because their deadline expired"),
+    ("fleet.breaker.opened", "circuit breakers tripped open"),
+    ("fleet.breaker.half_open", "breaker cooldowns expired into a probe"),
+    ("fleet.breaker.closed", "breakers closed by a successful probe"),
 )
 
 
@@ -168,8 +179,24 @@ class ServeMetrics(object):
             lambda s=series: round(quantile(s.values, 0.95), 6),
             "95th-percentile job latency over the window, seconds",
         )
+        self.registry.derived(
+            "%s.p99" % prefix,
+            lambda s=series: round(quantile(s.values, 0.99), 6),
+            "99th-percentile job latency over the window, seconds",
+        )
 
     # ------------------------------------------------------------------
+
+    def attach_fleet(self, fleet):
+        """Register derived gauges over a live WorkerSupervisor."""
+        self.registry.derived(
+            "serve.fleet.workers", lambda: len(fleet.workers),
+            "configured fleet size",
+        )
+        self.registry.derived(
+            "serve.fleet.workers_live", lambda: fleet.live_count(),
+            "fleet workers currently alive",
+        )
 
     def bump(self, name, n=1):
         """Increment one ``serve.*`` counter by short name."""

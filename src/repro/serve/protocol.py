@@ -55,9 +55,15 @@ ERROR_CODES = (
     "unknown-job",     # job id not in the table
     "not-cancellable", # cancel on an already-terminal job
     "busy",            # admission queue past its high-water mark
+    "circuit-open",    # per-benchmark circuit breaker is open (busy-class)
+    "deadline-exceeded", # job shed: its deadline expired before execution
     "shutting-down",   # server is draining; no new submissions
     "internal",        # unexpected server-side exception
 )
+
+#: busy-class error codes: transient, safe for clients to retry with
+#: backoff (unlike e.g. ``bad-request`` or ``deadline-exceeded``)
+BUSY_CLASS_CODES = ("busy", "circuit-open")
 
 
 class ProtocolError(Exception):
@@ -224,6 +230,49 @@ async def write_frame(writer, message, max_bytes=MAX_REPLY_BYTES):
     """Encode and send one frame over an :class:`asyncio.StreamWriter`."""
     writer.write(encode_frame(message, max_bytes=max_bytes))
     await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# blocking file-object helpers (worker-subprocess pipes)
+
+def read_frame_blocking(fp, max_bytes=MAX_REPLY_BYTES):
+    """Read one frame from a blocking binary file object (worker stdin).
+
+    :returns: the decoded message, or ``None`` on a clean EOF at a
+        frame boundary.
+    :raises ProtocolError: ``truncated`` on EOF mid-frame, plus the
+        :func:`decode_payload` failures.
+    """
+    header = fp.read(HEADER_BYTES)
+    if not header:
+        return None
+    while len(header) < HEADER_BYTES:
+        chunk = fp.read(HEADER_BYTES - len(header))
+        if not chunk:
+            raise ProtocolError("peer closed inside a frame header",
+                                code="truncated")
+        header += chunk
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            "declared frame length %d exceeds the %d byte cap"
+            % (length, max_bytes),
+            code="too-large",
+        )
+    payload = b""
+    while len(payload) < length:
+        chunk = fp.read(length - len(payload))
+        if not chunk:
+            raise ProtocolError("peer closed inside a frame body",
+                                code="truncated")
+        payload += chunk
+    return decode_payload(payload)
+
+
+def write_frame_blocking(fp, message, max_bytes=MAX_REPLY_BYTES):
+    """Encode and write one frame to a blocking binary file object."""
+    fp.write(encode_frame(message, max_bytes=max_bytes))
+    fp.flush()
 
 
 # ----------------------------------------------------------------------

@@ -15,6 +15,13 @@ a queued job flips its state and decrements the live count immediately
 (freeing admission capacity), while the heap entry is skipped when it
 eventually surfaces -- O(1) cancel, no heap surgery.
 
+Deadline shedding follows the same lazy discipline: a queued job whose
+``deadline_ms`` expired is detected when it surfaces at :meth:`pop`
+and handed to the queue's ``on_shed`` callback instead of a worker --
+expired work is never executed, and the server answers waiting clients
+with a typed ``deadline-exceeded`` error.  No timers scan the queue;
+an expired job that never surfaces costs nothing.
+
 The queue is asyncio-native: :meth:`pop` awaits the next live job and
 is woken by pushes; :meth:`close` wakes all waiters with ``None`` so
 the dispatcher can exit during drain.
@@ -42,13 +49,17 @@ class AdmissionQueue(object):
 
     :param high_water: maximum number of *live* queued jobs; pushes at
         or beyond this depth raise :class:`QueueFull`.
+    :param on_shed: callback ``on_shed(job)`` invoked when a queued
+        job surfaces at pop time with its deadline already expired (the
+        job is dropped from the queue, never returned to the dispatcher).
     """
 
-    def __init__(self, high_water=64):
+    def __init__(self, high_water=64, on_shed=None):
         if high_water < 1:
             raise ValueError("high_water must be >= 1, got %r"
                              % (high_water,))
         self.high_water = high_water
+        self.on_shed = on_shed
         self._heap = []                  # (-priority, seq, job)
         self._seq = itertools.count()
         self._live = 0                   # queued jobs not yet popped/cancelled
@@ -89,6 +100,11 @@ class AdmissionQueue(object):
                 if job.state != "queued" or job.cancel_requested:
                     continue  # lazily-cancelled entry
                 self._live -= 1
+                if job.deadline_expired:
+                    # lazy deadline shed: expired work never runs
+                    if self.on_shed is not None:
+                        self.on_shed(job)
+                    continue
                 return job
             if self._closed:
                 return None

@@ -14,9 +14,20 @@ network service.  Life of a submission::
         -> progress/heartbeat events stream to subscribed clients
         -> terminal state (done / failed / cancelled) + metrics + trace
 
+Execution backends: by default jobs run on the in-process
+:class:`~repro.serve.workers.WorkerTier`; with ``workers >= 1``
+(``REPRO_WORKERS`` / ``repro serve --workers N``) they run on a
+supervised subprocess fleet (:mod:`repro.serve.fleet`) with
+heartbeat liveness, automatic respawn and worker-loss requeue.
+Client-supplied ``deadline_ms`` propagates submit -> queue -> worker
+(expired jobs are shed with a typed ``deadline-exceeded`` error) and a
+per-benchmark circuit breaker (:mod:`repro.serve.breaker`) rejects
+persistently-failing workloads with a busy-class ``circuit-open``.
+
 Endpoints (request ``type`` values): ``submit``, ``status``, ``result``
 (optionally blocking until terminal), ``cancel``, ``stream``,
-``catalog``, ``statz``, ``jobs``, ``ping``.  Every failure is a typed
+``catalog``, ``statz``, ``jobs``, ``fleet``, ``ping``.  Every failure
+is a typed
 ``error`` frame (see :mod:`repro.serve.protocol`); nothing a client
 sends -- malformed frames, oversized payloads, mid-stream disconnects,
 cancels of finished jobs -- can wedge the server.
@@ -38,12 +49,15 @@ on resubmission.  Stats and traces are flushed before the loop exits.
 import asyncio
 import hashlib
 import json
+import os
 import time
 
 from repro.obs import Tracer
 from repro.obs.io import atomic_write_text
 from repro.resilience import ON_ERROR_MODES, SimulationError
 from repro.serve import protocol
+from repro.serve.breaker import BreakerBoard
+from repro.serve.fleet import DeadlineExceeded, WorkerSupervisor
 from repro.serve.jobs import JobTable
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import ProtocolError, error_message
@@ -64,8 +78,13 @@ DEFAULT_MAX_REQUESTS_PER_JOB = 256
 DEFAULT_MAX_INSTRUCTIONS = 10_000_000
 DEFAULT_HEARTBEAT_SECONDS = 5.0
 DEFAULT_DRAIN_GRACE = 30.0
+DEFAULT_BEAT_INTERVAL = 1.0
 _MAX_RETRY_OVERRIDE = 10
 _PRIORITY_RANGE = (-100, 100)
+_DEADLINE_MS_RANGE = (1, 86_400_000)
+
+#: environment knob for the fleet size (``repro serve --workers`` wins)
+ENV_WORKERS = "REPRO_WORKERS"
 
 
 def _bad(message, **extra):
@@ -106,6 +125,14 @@ class JobServer(object):
         tracer ("serve" category).
     :param drain_grace: seconds :meth:`drain` waits before requesting
         cooperative cancellation of still-running jobs.
+    :param workers: fleet size; ``None`` reads ``REPRO_WORKERS`` and
+        ``0`` keeps the in-process tier.  With a fleet,
+        ``max_concurrent`` is ignored (one job per worker).
+    :param beat_interval: fleet worker heartbeat period, seconds.
+    :param max_missed: missed beats before a worker is declared dead.
+    :param breaker: pre-configured
+        :class:`~repro.serve.breaker.BreakerBoard` (tests); a default
+        board is built when None.
     """
 
     def __init__(self, host="127.0.0.1", port=0, cache_dir=None,
@@ -117,7 +144,9 @@ class JobServer(object):
                  heartbeat_interval=DEFAULT_HEARTBEAT_SECONDS,
                  retain_jobs=256, stats_path=None, trace_path=None,
                  drain_grace=DEFAULT_DRAIN_GRACE,
-                 max_frame_bytes=protocol.MAX_FRAME_BYTES):
+                 max_frame_bytes=protocol.MAX_FRAME_BYTES,
+                 workers=None, beat_interval=DEFAULT_BEAT_INTERVAL,
+                 max_missed=4, breaker=None):
         self.host = host
         self.port = port
         self.max_requests_per_job = max_requests_per_job
@@ -127,14 +156,46 @@ class JobServer(object):
         self.trace_path = trace_path
         self.drain_grace = drain_grace
         self.max_frame_bytes = max_frame_bytes
+        if workers is None:
+            workers = int(os.environ.get(ENV_WORKERS, "0") or 0)
+        self._tmp_cache = None
+        if workers >= 1 and cache_dir is None and runner is None:
+            # fleet workers are separate processes: they need a real
+            # shared on-disk cache (it is also the requeue checkpoint)
+            import tempfile
+
+            cache_dir = self._tmp_cache = tempfile.mkdtemp(
+                prefix="repro-fleet-cache-"
+            )
         self.runner = runner if runner is not None else ExperimentRunner(
             cache_dir=cache_dir
         )
-        self.tier = WorkerTier(self.runner, max_concurrent=max_concurrent,
-                               batch_jobs=batch_jobs, policy=policy)
         self.table = JobTable(retain=retain_jobs)
-        self.queue = AdmissionQueue(high_water=high_water)
+        self.queue = AdmissionQueue(high_water=high_water,
+                                    on_shed=self._shed_expired)
         self.metrics = ServeMetrics(queue=self.queue, table=self.table)
+        if workers >= 1:
+            fleet_cache = cache_dir
+            if fleet_cache is None:
+                # a pre-built runner: share its disk cache when it has one
+                fleet_cache = getattr(self.runner, "cache_dir", None)
+            self.tier = None
+            self.fleet = WorkerSupervisor(
+                cache_dir=fleet_cache, workers=workers,
+                beat_interval=beat_interval, max_missed=max_missed,
+                policy=policy, batch_jobs=batch_jobs,
+                metrics=self.metrics,
+            )
+            self.executor = self.fleet
+            self.metrics.attach_fleet(self.fleet)
+        else:
+            self.tier = WorkerTier(self.runner,
+                                   max_concurrent=max_concurrent,
+                                   batch_jobs=batch_jobs, policy=policy)
+            self.fleet = None
+            self.executor = self.tier
+        self.breakers = breaker if breaker is not None else BreakerBoard()
+        self.breakers.on_transition = self._breaker_transition
         self.catalog = build_catalog()
         self._benchmarks = {
             entry["name"] for entry in self.catalog["benchmarks"]
@@ -160,7 +221,9 @@ class JobServer(object):
     async def start(self):
         """Bind, start the dispatcher and heartbeat; returns *self*."""
         self.loop = asyncio.get_running_loop()
-        self._slots = asyncio.Semaphore(self.tier.max_concurrent)
+        if self.fleet is not None:
+            await self.fleet.start()
+        self._slots = asyncio.Semaphore(self.executor.max_concurrent)
         self._closed = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_conn, host=self.host, port=self.port
@@ -224,8 +287,15 @@ class JobServer(object):
             self._heartbeat.cancel()
         self._server.close()
         await self._server.wait_closed()
-        self.tier.shutdown(wait=False)
+        if self.tier is not None:
+            self.tier.shutdown(wait=False)
+        if self.fleet is not None:
+            await self.fleet.shutdown()
         self.flush()
+        if self._tmp_cache is not None:
+            import shutil
+
+            shutil.rmtree(self._tmp_cache, ignore_errors=True)
         self._closed.set()
 
     def flush(self):
@@ -301,13 +371,23 @@ class JobServer(object):
     async def _execute(self, job):
         self._publish(job, "started", runs=job.done_total)
         try:
-            results, report = await self.tier.run_job(
+            results, report = await self.executor.run_job(
                 self.loop, job, self._on_progress
             )
         except JobCancelled:
             job.mark_terminal("cancelled")
             self._publish(job, "cancelled", done=job.done_count,
                           total=job.done_total)
+        except DeadlineExceeded:
+            job.error = {
+                "code": "deadline-exceeded",
+                "error_type": "DeadlineExceeded",
+                "message": "deadline expired before the job could finish "
+                           "(completed work is checkpointed in the cache)",
+            }
+            job.mark_terminal("failed")
+            self.metrics.bump("fleet.sheds")
+            self._publish(job, "failed", error=job.error)
         except SimulationError as exc:
             job.error = {
                 "code": "simulation-error",
@@ -340,9 +420,61 @@ class JobServer(object):
         finally:
             self.table.finish(job)
             self.metrics.record_job(job)
+            self._record_breaker(job)
             if self.tracer is not None:
                 self.tracer.flush()
             self._slots.release()
+
+    # ------------------------------------------------------------------
+    # load shedding + circuit breaking
+
+    def _shed_expired(self, job):
+        """Queue callback: a popped job's deadline already expired.
+
+        The job never reaches a worker; waiting clients get a typed
+        ``deadline-exceeded`` failure immediately.
+        """
+        job.error = {
+            "code": "deadline-exceeded",
+            "error_type": "DeadlineExceeded",
+            "message": "deadline expired while queued",
+        }
+        job.mark_terminal("failed")
+        self.metrics.bump("fleet.sheds")
+        self._publish(job, "failed", error=job.error)
+        self.table.finish(job)
+        self.metrics.record_job(job)
+
+    def _breaker_transition(self, benchmark, old, new):
+        counter = {"open": "fleet.breaker.opened",
+                   "half-open": "fleet.breaker.half_open",
+                   "closed": "fleet.breaker.closed"}[new]
+        self.metrics.bump(counter)
+        if self._serve_channel is not None:
+            self._trace_seq += 1
+            self._serve_channel.emit(
+                "breaker", self._trace_seq, job="-", benchmark=benchmark,
+                old=old, new=new,
+            )
+
+    def _record_breaker(self, job):
+        """Fold one terminal job into its benchmarks' breakers.
+
+        Only *verdicts* count: cancellations and deadline sheds say
+        nothing about the benchmark's health and are skipped.  A sweep
+        outcome is attributed to every benchmark it touched.
+        """
+        if job.state == "done":
+            success = True
+        elif job.state == "failed":
+            code = (job.error or {}).get("code")
+            if code == "deadline-exceeded":
+                return
+            success = False
+        else:
+            return  # cancelled
+        for benchmark in job.spec.get("benchmarks") or []:
+            self.breakers.record(benchmark, success)
 
     # ------------------------------------------------------------------
     # connection handling
@@ -490,12 +622,24 @@ class JobServer(object):
                       total=job.done_total)
         return {"type": "cancelling", "job_id": job.id, "state": job.state}
 
+    async def _on_fleet(self, message):
+        """Fleet observability: worker rows + breaker states."""
+        workers = self.fleet.snapshot() if self.fleet is not None else []
+        return {
+            "type": "fleet",
+            "mode": "fleet" if self.fleet is not None else "tier",
+            "workers": workers,
+            "breakers": self.breakers.snapshot(),
+        }
+
     async def _on_submit(self, message):
         self.metrics.bump("jobs.submitted")
         try:
             kind, spec, requests = self._validate_submit(message)
-        except ProtocolError:
-            self.metrics.bump("jobs.rejected_invalid")
+        except ProtocolError as exc:
+            self.metrics.bump("jobs.rejected_circuit"
+                              if exc.code == "circuit-open"
+                              else "jobs.rejected_invalid")
             raise
         key = self._job_key(kind, spec, requests)
         existing = self.table.find_active(key)
@@ -510,7 +654,8 @@ class JobServer(object):
                     "coalesced": True, "state": existing.state,
                     "runs": existing.done_total}
         job = self.table.new_job(key, kind, spec, requests,
-                                 priority=spec["priority"])
+                                 priority=spec["priority"],
+                                 deadline_ms=spec["deadline_ms"])
         try:
             self.queue.push(job)
         except QueueFull as exc:
@@ -545,6 +690,10 @@ class JobServer(object):
         variant = _check_int(variant, "variant", 0, 1 << 16)
         priority = message.get("priority", 0)
         priority = _check_int(priority, "priority", *_PRIORITY_RANGE)
+        deadline_ms = message.get("deadline_ms")
+        if deadline_ms is not None:
+            deadline_ms = _check_int(deadline_ms, "deadline_ms",
+                                     *_DEADLINE_MS_RANGE)
         policy = {}
         if message.get("retries") is not None:
             policy["retries"] = _check_int(message["retries"], "retries",
@@ -577,6 +726,14 @@ class JobServer(object):
                 message.get("prefetchers"), "prefetchers",
                 self._check_prefetcher,
             )
+        for bench in benchmarks:
+            if not self.breakers.allow(bench):
+                raise ProtocolError(
+                    "circuit breaker for benchmark %r is open; the "
+                    "workload is failing persistently -- back off and "
+                    "retry after the cooldown" % (bench,),
+                    code="circuit-open",
+                )
         requests = [
             RunRequest(bench, prefetcher, instructions, None, variant)
             for bench in benchmarks
@@ -594,6 +751,7 @@ class JobServer(object):
             "instructions": instructions,
             "variant": variant,
             "priority": priority,
+            "deadline_ms": deadline_ms,
             "policy": policy,
         }
         return kind, spec, requests
@@ -632,7 +790,12 @@ class JobServer(object):
         piggybacks on (or poisons) a defaulted submission.
         """
         digests = [self.runner.request_digest(r) for r in requests]
-        identity = [kind, digests, sorted(spec["policy"].items())]
+        # deadline is part of identity: a deadlined submission must not
+        # coalesce onto (or accept riders from) an un-deadlined one --
+        # they would shed together.  The result cache still dedups the
+        # underlying compute.
+        identity = [kind, digests, sorted(spec["policy"].items()),
+                    spec["deadline_ms"]]
         return hashlib.sha1(
             json.dumps(identity, sort_keys=True).encode()
         ).hexdigest()

@@ -1,0 +1,14 @@
+"""``python -m repro.serve.worker_main``: fleet worker entry point.
+
+Kept separate from :mod:`repro.serve.supervisor` (which the package
+``__init__`` imports) so ``runpy`` never re-executes an already-
+imported module -- that would emit a RuntimeWarning on every worker
+spawn and, worse, run the module body twice.
+"""
+
+import sys
+
+from repro.serve.supervisor import worker_main
+
+if __name__ == "__main__":
+    sys.exit(worker_main())
