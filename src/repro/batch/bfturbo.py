@@ -1,0 +1,7 @@
+"""B-Fetch batch slice stepper (live-predictor mode).
+
+Placeholder: delegates to the generic live-mode stepper; the inlined
+lookahead walk lands next.
+"""
+
+from repro.batch.turbo import run_slice  # noqa: F401

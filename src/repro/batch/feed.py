@@ -1,0 +1,124 @@
+"""Per-trace SoA precomputes feeding the batch kernel.
+
+The PR 6 view (:func:`repro.trace.engine.build_view`) stays the
+instruction feed -- one tuple unpack per dynamic instruction is already
+the cheapest access pattern pure Python offers.  What the batch kernel
+adds on top are two position-indexed columns derived once per
+(trace, fetch-geometry) pair and shared by every lane over that trace:
+
+* ``bchg`` -- fetch-block-change flags.  ``bchg[p]`` is 1 iff
+  instruction *p* starts a new fetch block relative to *p - 1* (always
+  1 at position 0: a fresh core's ``_fetch_block`` is ``-1``).  This is
+  valid across slice cuts because the core's ``_fetch_block`` is, by
+  construction, always the block of the last processed instruction --
+  it replaces a shift + compare per instruction with one byte load.
+* ``branch_prefix`` -- prefix counts of outcome-consuming branches
+  (view kinds ``V_COND``/``V_JR``), so a lane attached mid-trace (a
+  restored checkpoint) can reconstruct its cursor into the
+  pre-computed outcome list in O(1).
+
+Both builds use numpy when it is importable and fall back to plain
+Python loops otherwise -- the kernel itself never needs numpy.
+"""
+
+from array import array
+from collections import OrderedDict
+
+from repro.trace.engine import V_COND, V_JR
+
+try:  # optional acceleration for the one-off column builds
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _build_* directly
+    _np = None
+
+_FEED_MEMO = OrderedDict()  # (trace identity, fetch_shift) -> BatchFeed
+_FEED_MEMO_CAP = 8
+
+
+class BatchFeed(object):
+    """A view plus its position-indexed SoA columns."""
+
+    __slots__ = ("view", "bchg", "branch_prefix")
+
+    def __init__(self, view, bchg, branch_prefix):
+        self.view = view
+        self.bchg = bchg
+        self.branch_prefix = branch_prefix
+
+    def __len__(self):
+        return len(self.view)
+
+
+def _build_bchg(view, fetch_shift):
+    """Fetch-block-change flags as ``bytes`` (fastest int indexing)."""
+    count = len(view)
+    if count == 0:
+        return b""
+    if _np is not None:
+        blocks = _np.fromiter(
+            (entry[2] for entry in view), _np.int64, count=count
+        ) >> fetch_shift
+        flags = _np.empty(count, _np.uint8)
+        flags[0] = 1
+        flags[1:] = blocks[1:] != blocks[:-1]
+        return flags.tobytes()
+    flags = bytearray(count)
+    flags[0] = 1
+    previous = view[0][2] >> fetch_shift
+    for pos in range(1, count):
+        block = view[pos][2] >> fetch_shift
+        if block != previous:
+            flags[pos] = 1
+            previous = block
+    return bytes(flags)
+
+
+def _build_branch_prefix(view):
+    """``branch_prefix[p]`` = outcome-consuming branches in ``view[:p]``."""
+    count = len(view)
+    if _np is not None:
+        kinds = _np.fromiter(
+            (entry[0] for entry in view), _np.int64, count=count
+        ) if count else _np.empty(0, _np.int64)
+        flags = (kinds == V_COND) | (kinds == V_JR)
+        prefix = _np.zeros(count + 1, _np.int64)
+        prefix[1:] = _np.cumsum(flags)
+        return array("q", prefix.tolist())
+    prefix = array("q", bytes(8 * (count + 1)))
+    total = 0
+    for pos in range(count):
+        kind = view[pos][0]
+        if kind == V_COND or kind == V_JR:
+            total += 1
+        prefix[pos + 1] = total
+    return prefix
+
+
+def build_feed(view, fetch_shift):
+    """Build a :class:`BatchFeed` (unmemoised; prefer :func:`feed_for`)."""
+    return BatchFeed(
+        view, _build_bchg(view, fetch_shift), _build_branch_prefix(view)
+    )
+
+
+def feed_for(trace, view, fetch_shift):
+    """Memoised :class:`BatchFeed` for a (trace, fetch-geometry) pair.
+
+    Keyed on the trace digest (falling back to object identity for
+    unpersisted traces), mirroring the view/outcome memos in
+    :mod:`repro.trace.store`.
+    """
+    key = (trace.digest or id(trace), fetch_shift)
+    feed = _FEED_MEMO.get(key)
+    if feed is not None:
+        _FEED_MEMO.move_to_end(key)
+        return feed
+    feed = build_feed(view, fetch_shift)
+    _FEED_MEMO[key] = feed
+    while len(_FEED_MEMO) > _FEED_MEMO_CAP:
+        _FEED_MEMO.popitem(last=False)
+    return feed
+
+
+def clear_feed_memo():
+    _FEED_MEMO.clear()

@@ -1,0 +1,195 @@
+"""Seeded differential fuzzer: batch kernel vs scalar reference.
+
+Every round draws a random scenario -- benchmark, program variant,
+instruction budget, branch predictor, lane count -- and runs it twice:
+once per-cell on the scalar engine (the fused replay path, itself
+byte-identical to lockstep by the PR 6 guarantee) and once through the
+:class:`~repro.batch.BatchKernel` with all lanes sharing one
+:class:`~repro.batch.state.BatchState`.  Lane *i* uses prefetcher
+``PREFETCHER_NAMES[i mod 9]``, so a 16-lane round covers every
+prefetcher at least once with heterogeneous neighbours (a lane-indexing
+bug cannot hide behind homogeneous lanes).  CMP rounds do the same for
+a random 2-4 app mix through :func:`repro.batch.cmp.run_mix_batch`.
+
+Comparison is on the full ``RunResult.as_dict()`` payload -- the same
+stats dump the result cache persists -- compared for *equality of every
+key*, i.e. byte-identity once JSON-serialised.  Divergences come back
+as structured records naming the scenario and every differing key, so a
+failure is immediately reproducible:
+
+    python -m repro.batch.fuzz --seed 7 --rounds 20
+
+The fuzzer that shipped with this PR flushed out the CMP delegation
+rewind bug (see ``repro/batch/cmp.py``): a core crossing its recorded
+window mid-burst resumed the scalar stepper at the burst-entry cycle,
+re-simulating cycles and drifting ``fetch_cycles`` by one.  The pinned
+regression lives in ``tests/test_batch_kernel.py``.
+"""
+
+import argparse
+import random
+import tempfile
+
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import PREDICTOR_NAMES, PREFETCHER_NAMES, SystemConfig
+from repro.sim.system import System
+from repro.trace.store import TraceStore, clear_memos
+from repro.workloads.spec import build_workload
+
+from repro.batch import BatchKernel
+from repro.batch.cmp import run_mix_batch
+from repro.batch.feed import clear_feed_memo
+
+# workloads cheap enough to fuzz many rounds of on one CPU
+FUZZ_BENCHMARKS = ("mcf", "libquantum", "soplex", "astar", "hmmer",
+                   "sjeng", "lbm", "milc")
+LANE_COUNTS = (1, 4, 16)
+
+
+def _diff_keys(scalar, batch):
+    """Names of keys whose values differ between two result dicts."""
+    keys = sorted(set(scalar) | set(batch))
+    return [
+        key for key in keys
+        if scalar.get(key, "<absent>") != batch.get(key, "<absent>")
+    ]
+
+
+def _replay_for(workload, steps, variant, cache_dir):
+    from repro.trace.replay import TraceReplaySource
+    trace = TraceStore(cache_dir).get_or_record(workload, steps, variant)
+    return TraceReplaySource(workload, trace)
+
+
+def _single_round(rng, cache_dir):
+    """One single-core round; returns a list of divergence records."""
+    lanes = rng.choice(LANE_COUNTS)
+    predictor = rng.choice(PREDICTOR_NAMES)
+    steps = rng.randrange(1500, 4001)
+    scenario = []
+    for lane in range(lanes):
+        benchmark = rng.choice(FUZZ_BENCHMARKS)
+        variant = rng.randrange(0, 3)
+        prefetcher = PREFETCHER_NAMES[lane % len(PREFETCHER_NAMES)]
+        scenario.append((benchmark, variant, prefetcher))
+
+    def build(benchmark, variant, prefetcher):
+        workload = build_workload(benchmark, variant)
+        config = SystemConfig(prefetcher=prefetcher,
+                              branch_predictor=predictor)
+        replay = _replay_for(workload, steps, variant, cache_dir)
+        return System(workload, config, replay=replay)
+
+    scalar = [
+        build(*cell).run(steps).as_dict() for cell in scenario
+    ]
+    kernel = BatchKernel()
+    systems = [build(*cell) for cell in scenario]
+    for system in systems:
+        kernel.add_lane(system, steps)
+    kernel.run()
+    batch = [result.as_dict() for result in kernel.results()]
+
+    divergences = []
+    for cell, expect, got in zip(scenario, scalar, batch):
+        keys = _diff_keys(expect, got)
+        if keys:
+            divergences.append({
+                "kind": "single",
+                "benchmark": cell[0],
+                "variant": cell[1],
+                "prefetcher": cell[2],
+                "predictor": predictor,
+                "steps": steps,
+                "lanes": lanes,
+                "keys": keys,
+            })
+    return divergences
+
+
+def _mix_round(rng, cache_dir):
+    """One CMP round; returns a list of divergence records."""
+    size = rng.choice((2, 4))
+    mix = [rng.choice(FUZZ_BENCHMARKS) for _ in range(size)]
+    prefetcher = rng.choice(PREFETCHER_NAMES)
+    predictor = rng.choice(PREDICTOR_NAMES)
+    steps = rng.randrange(1500, 4001)
+    config = SystemConfig(prefetcher=prefetcher, branch_predictor=predictor)
+
+    def build():
+        workloads = [build_workload(name) for name in mix]
+        replays = [
+            _replay_for(workload, steps, 0, cache_dir)
+            for workload in workloads
+        ]
+        return CMPSystem(workloads, config, replays=replays)
+
+    scalar = [result.as_dict() for result in build().run(steps)]
+    batch = [result.as_dict() for result in run_mix_batch(build(), steps)]
+
+    divergences = []
+    for name, expect, got in zip(mix, scalar, batch):
+        keys = _diff_keys(expect, got)
+        if keys:
+            divergences.append({
+                "kind": "mix",
+                "mix": mix,
+                "benchmark": name,
+                "prefetcher": prefetcher,
+                "predictor": predictor,
+                "steps": steps,
+                "keys": keys,
+            })
+    return divergences
+
+
+def run_fuzz(seed, rounds, mix_every=4, cache_dir=None):
+    """Run *rounds* differential rounds; returns divergence records.
+
+    Deterministic in *seed*: the scenario stream, trace recordings and
+    both engines are all seed-stable, so a reported divergence replays
+    exactly.  Every ``mix_every``-th round is a CMP mix round.
+    """
+    rng = random.Random(seed)
+    divergences = []
+    if cache_dir is not None:
+        for index in range(rounds):
+            if mix_every and (index + 1) % mix_every == 0:
+                divergences.extend(_mix_round(rng, cache_dir))
+            else:
+                divergences.extend(_single_round(rng, cache_dir))
+        return divergences
+    with tempfile.TemporaryDirectory() as tmp:
+        try:
+            return run_fuzz(seed, rounds, mix_every, cache_dir=tmp)
+        finally:
+            # the store memoises per-digest; drop entries pointing at
+            # the deleted temporary directory
+            clear_memos()
+            clear_feed_memo()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.batch.fuzz",
+        description="differential fuzz: batch kernel vs scalar engines",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--mix-every", type=int, default=4,
+                        help="every Nth round is a CMP mix (0 disables)")
+    args = parser.parse_args(argv)
+    divergences = run_fuzz(args.seed, args.rounds, args.mix_every)
+    if divergences:
+        for record in divergences:
+            print("DIVERGENCE: %r" % (record,))
+        print("%d divergence(s) in %d rounds (seed %d)"
+              % (len(divergences), args.rounds, args.seed))
+        return 1
+    print("no divergence in %d rounds (seed %d)"
+          % (args.rounds, args.seed))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

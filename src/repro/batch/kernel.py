@@ -1,0 +1,190 @@
+"""Batch kernel: lane management, lockstep slicing, checkpointing.
+
+A :class:`BatchKernel` owns a set of *lanes* -- independent single-core
+:class:`~repro.sim.System` instances driven off recorded traces -- and
+steps them in lockstep slices over one shared
+:class:`~repro.batch.state.BatchState`.  Lanes are fully independent,
+so the interleaving order cannot affect any simulated outcome; slicing
+exists to bound how long any one lane runs between scheduling points
+(progress callbacks, checkpoints) while keeping the per-slice column
+load/store cost amortised over thousands of instructions.
+
+Eligibility (:func:`batchable`) mirrors the scalar fused-replay guard
+plus the batch-specific constraints; anything ineligible stays on the
+scalar reference path.  A lane can be attached *warm* (a restored
+checkpoint mid-trace): the outcome cursor is rebuilt from the feed's
+branch-prefix column, which is what makes mid-batch checkpoint/restore
+byte-identical to an uninterrupted run.
+"""
+
+from repro.core.bfetch import BFetchPrefetcher
+from repro.sim.system import RunResult
+from repro.trace.store import outcomes_for, view_for
+
+from repro.batch import bfturbo
+from repro.batch import turbo
+from repro.batch.feed import feed_for
+from repro.batch.state import BatchState
+
+# default instructions retired per lane per slice
+DEFAULT_SLICE = 8192
+
+
+class BatchIneligible(ValueError):
+    """The system/budget cannot be served by the batch kernel."""
+
+
+def batchable(system, budget):
+    """Return None when the kernel can serve this run, else the reason."""
+    if system.replay is None:
+        return "no trace replay source"
+    machine = system.machine
+    if machine._machine is not None:
+        return "replay source already in live continuation"
+    if budget > len(machine.trace.records):
+        return "budget exceeds the recorded trace window"
+    if system.core._trace_branch is not None:
+        return "branch tracing is active"
+    hierarchy = system.hierarchy
+    if hierarchy.l1d.policy is not None or hierarchy.l1i.policy is not None:
+        return "L1 replacement policy overrides the inlined LRU"
+    prefetcher = system.prefetcher
+    if hasattr(prefetcher, "attach") and not isinstance(
+            prefetcher, BFetchPrefetcher):
+        return "unknown predictor-attached prefetcher"
+    return None
+
+
+class _Lane(object):
+    __slots__ = ("system", "budget", "feed", "outcomes", "stepper")
+
+    def __init__(self, system, budget, feed, outcomes, stepper):
+        self.system = system
+        self.budget = budget
+        self.feed = feed
+        self.outcomes = outcomes
+        self.stepper = stepper
+
+
+class BatchKernel(object):
+    """Steps many independent runs in lockstep slices over SoA columns.
+
+    Usage::
+
+        kernel = BatchKernel()
+        kernel.add_lane(system_a, budget)
+        kernel.add_lane(system_b, budget)
+        kernel.run()                    # all lanes to completion
+        results = kernel.results()      # RunResult per lane, in order
+
+    ``run(max_slices=n)`` stops early after *n* lockstep rounds;
+    :meth:`writeback` then syncs every lane's columns into its scalar
+    ``System`` so ``system.snapshot()`` produces a normal checkpoint.
+    A restored system re-attaches warm via :meth:`add_lane`.
+    """
+
+    def __init__(self, slice_instructions=DEFAULT_SLICE):
+        if slice_instructions < 1:
+            raise ValueError("slice_instructions must be positive")
+        self.slice = slice_instructions
+        self.lanes = []
+        self.state = None
+
+    def add_lane(self, system, budget):
+        """Attach one system; returns its integer lane id.
+
+        :raises BatchIneligible: when :func:`batchable` rejects it.
+        """
+        if self.state is not None:
+            raise BatchIneligible("kernel already sealed by run()")
+        reason = batchable(system, budget)
+        if reason is not None:
+            raise BatchIneligible(reason)
+        source = system.machine
+        view = view_for(system.workload, source.trace)
+        feed = feed_for(source.trace, view, system.core._fetch_shift)
+        if hasattr(system.prefetcher, "attach"):
+            outcomes = None
+            stepper = bfturbo.run_slice
+        else:
+            outcomes = outcomes_for(source.trace, system.config, view)
+            stepper = turbo.run_slice
+        self.lanes.append(_Lane(system, budget, feed, outcomes, stepper))
+        return len(self.lanes) - 1
+
+    def _seal(self):
+        rob_entries = max(
+            lane.system.config.core.rob_entries for lane in self.lanes
+        )
+        width = max(lane.system.config.core.width for lane in self.lanes)
+        self.state = BatchState(len(self.lanes), rob_entries, width)
+        for index, lane in enumerate(self.lanes):
+            core = lane.system.core
+            source = lane.system.machine
+            bcursor = lane.feed.branch_prefix[source.pos]
+            core.start(lane.budget)
+            self.state.load_lane(index, core, source, lane.budget, bcursor)
+
+    def run(self, max_slices=None):
+        """Step every unfinished lane in lockstep slices.
+
+        Returns True once every lane has completed its budget.
+        """
+        if not self.lanes:
+            return True
+        if self.state is None:
+            self._seal()
+        state = self.state
+        done = state.done
+        slice_size = self.slice
+        rounds = 0
+        while True:
+            remaining = 0
+            for index, lane in enumerate(self.lanes):
+                if done[index]:
+                    continue
+                stop = min(state.retired[index] + slice_size, lane.budget)
+                finished = lane.stepper(
+                    index, state, lane.feed, lane.outcomes, lane.system,
+                    stop,
+                )
+                if not finished:
+                    remaining += 1
+            rounds += 1
+            if remaining == 0:
+                self.writeback()
+                return True
+            if max_slices is not None and rounds >= max_slices:
+                self.writeback()
+                return False
+
+    def writeback(self):
+        """Sync every lane's columns back into its scalar ``System``.
+
+        After this, each ``system`` is indistinguishable from one the
+        scalar engine ran to the same point: snapshots, stats payloads
+        and further scalar stepping all behave identically.
+        """
+        if self.state is None:
+            return
+        for index, lane in enumerate(self.lanes):
+            self.state.store_lane(index, lane.system.core,
+                                  lane.system.machine)
+
+    def results(self):
+        """Per-lane :class:`~repro.sim.system.RunResult`, in lane order.
+
+        Only meaningful once :meth:`run` returned True; flushes lane
+        columns back into the systems first.
+        """
+        self.writeback()
+        out = []
+        for lane in self.lanes:
+            system = lane.system
+            if system.tracer is not None:
+                system.tracer.flush()
+            out.append(RunResult.from_core(
+                system.core, system.workload.name,
+                system.config.prefetcher,
+            ))
+        return out

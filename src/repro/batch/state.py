@@ -1,0 +1,132 @@
+"""Per-lane hot-state columns for the batch kernel.
+
+All the mutable core-side scalars a slice stepper touches live here as
+``array('q')`` columns indexed by lane id (the AoS->SoA move of ROADMAP
+item 1): the slice steppers load a lane's column entries into locals on
+entry and store them back on exit, so between slices the whole batch's
+hot state is a handful of flat int64 buffers.
+
+The reorder buffer is a power-of-two ring per lane inside one shared
+``rob`` column (stride ``rob_ring``), addressed with monotonically
+increasing head/tail cursors masked into the ring -- equivalent to the
+scalar core's list + periodic ``del rob[:head]`` compaction, without
+the compaction.
+
+Architectural register *values* deliberately stay in each lane's
+``machine.regs`` list: replay sources alias that list into live
+continuation machines and prefetcher hooks receive it by reference, so
+moving it would change observable aliasing.
+"""
+
+from array import array
+
+# column names holding one int64 per lane
+_SCALAR_COLUMNS = (
+    "cyc",        # core.cycle
+    "pos",        # machine.pos (view cursor)
+    "bcur",       # cursor into the pre-computed branch outcomes
+    "retired",    # core.retired
+    "budget",     # instruction budget for the lane
+    "fstall",     # core.fetch_stall_until
+    "fblock",     # core._fetch_block (-1 on a fresh core)
+    "rhead",      # monotonic ROB head (masked into the ring)
+    "rtail",      # monotonic ROB tail
+    "done",       # 1 once retired >= budget
+    "cond",       # core.cond_branches
+    "branch",     # core.branches
+    "misp",       # core.mispredicts
+    "fcyc",       # core.fetch_cycles
+    "robfull",    # core.rob_full_stalls
+    "flush",      # core.flush_stall_cycles
+)
+
+REG_STRIDE = 32    # architectural registers per lane (reg_ready)
+HIST_STRIDE = 5    # fetch_branch_hist buckets per lane
+
+
+def _ring_size(rob_entries, width):
+    """Smallest power of two holding a full ROB plus one fetch group."""
+    need = rob_entries + width + 2
+    size = 1
+    while size < need:
+        size <<= 1
+    return size
+
+
+class BatchState(object):
+    """Preallocated SoA columns for *lanes* lanes."""
+
+    __slots__ = _SCALAR_COLUMNS + (
+        "lanes", "reg_ready", "fbh", "rob", "rob_ring", "rob_mask",
+    )
+
+    def __init__(self, lanes, rob_entries, width):
+        self.lanes = lanes
+        zeros = bytes(8 * lanes)
+        for name in _SCALAR_COLUMNS:
+            setattr(self, name, array("q", zeros))
+        self.reg_ready = array("q", bytes(8 * lanes * REG_STRIDE))
+        self.fbh = array("q", bytes(8 * lanes * HIST_STRIDE))
+        self.rob_ring = _ring_size(rob_entries, width)
+        self.rob_mask = self.rob_ring - 1
+        self.rob = array("q", bytes(8 * lanes * self.rob_ring))
+
+    # ------------------------------------------------------------------
+    # lane attach / writeback (columns <-> scalar core objects)
+
+    def load_lane(self, lane, core, machine, budget, bcursor):
+        """Copy a (possibly warm) scalar core's state into lane columns."""
+        self.cyc[lane] = core.cycle
+        self.pos[lane] = machine.pos
+        self.bcur[lane] = bcursor
+        self.retired[lane] = core.retired
+        self.budget[lane] = budget
+        self.fstall[lane] = core.fetch_stall_until
+        self.fblock[lane] = core._fetch_block
+        self.done[lane] = 1 if core.retired >= budget else 0
+        self.cond[lane] = core.cond_branches
+        self.branch[lane] = core.branches
+        self.misp[lane] = core.mispredicts
+        self.fcyc[lane] = core.fetch_cycles
+        self.robfull[lane] = core.rob_full_stalls
+        self.flush[lane] = core.flush_stall_cycles
+        base = lane * REG_STRIDE
+        self.reg_ready[base:base + REG_STRIDE] = array("q", core.reg_ready)
+        base = lane * HIST_STRIDE
+        self.fbh[base:base + HIST_STRIDE] = array("q", core.fetch_branch_hist)
+        live = core.rob[core._rob_head:]
+        if len(live) > self.rob_mask:
+            raise ValueError("live ROB window exceeds the batch ring")
+        self.rhead[lane] = 0
+        self.rtail[lane] = len(live)
+        rob = self.rob
+        rbase = lane * self.rob_ring
+        for offset, complete in enumerate(live):
+            rob[rbase + offset] = complete
+
+    def store_lane(self, lane, core, machine):
+        """Write lane columns back into the scalar core/replay source."""
+        core.cycle = self.cyc[lane]
+        core.retired = self.retired[lane]
+        core.fetch_stall_until = self.fstall[lane]
+        core._fetch_block = self.fblock[lane]
+        core.done = bool(self.done[lane])
+        core.cond_branches = self.cond[lane]
+        core.branches = self.branch[lane]
+        core.mispredicts = self.misp[lane]
+        core.fetch_cycles = self.fcyc[lane]
+        core.rob_full_stalls = self.robfull[lane]
+        core.flush_stall_cycles = self.flush[lane]
+        base = lane * REG_STRIDE
+        core.reg_ready = list(self.reg_ready[base:base + REG_STRIDE])
+        base = lane * HIST_STRIDE
+        core.fetch_branch_hist = list(self.fbh[base:base + HIST_STRIDE])
+        rob = self.rob
+        rbase = lane * self.rob_ring
+        mask = self.rob_mask
+        core.rob = [
+            rob[rbase + (cursor & mask)]
+            for cursor in range(self.rhead[lane], self.rtail[lane])
+        ]
+        core._rob_head = 0
+        machine.seek(self.pos[lane])

@@ -1,0 +1,363 @@
+"""Generic batch slice stepper: ``run_replay`` over SoA lane columns.
+
+:func:`run_slice` is an exact transcription of
+:func:`repro.trace.engine.run_replay` (itself a transcription of the
+lockstep ``OutOfOrderCore`` hot loop) with three changes, none of which
+alters any simulated outcome:
+
+* live core state comes from / returns to a lane's
+  :class:`~repro.batch.state.BatchState` columns instead of core
+  attributes, and the ROB is the batch ring;
+* the loop exits at a *slice boundary* (``retired >= stop_retired``)
+  checked at the top of the cycle loop -- re-entering resumes at the
+  retire phase of the next cycle, exactly where an uninterrupted run
+  would be;
+* plain L1D/L1I hits are served inline (the ``access`` bookkeeping is
+  transcribed here), skipping two call frames on the hottest memory
+  path.  Anything unusual -- a miss, a late hit, the first demand touch
+  of a prefetched line -- falls through to the real hierarchy call.
+  The inline transcription requires the default ``policy is None`` LRU
+  (an eligibility condition checked by the kernel).
+
+Like ``run_replay`` the stepper has an outcome-driven mode (branch
+responses pre-computed per trace x predictor config, valid whenever
+nothing observes live predictor state) and a live mode (B-Fetch reads
+the predictor during walks); the live mode trains the predictor,
+confidence estimator and BTB in exactly the scalar order.
+"""
+
+from array import array
+
+from repro.cpu.ooo import _noop_hook
+from repro.prefetchers.base import Prefetcher as _BasePrefetcher
+
+from repro.batch.state import HIST_STRIDE, REG_STRIDE
+
+
+def run_slice(lane, st, feed, outcomes, system, stop_retired):
+    """Advance one lane until ``retired >= stop_retired`` or completion.
+
+    Returns True once the lane has retired its full budget (the final
+    ``now`` is then in the ``cyc`` column and the ``done`` flag is set).
+    """
+    core = system.core
+    machine = system.machine
+    cfg = core.config
+    hierarchy = core.hierarchy
+    predictor = core.predictor
+    confidence = core.confidence
+    btb = core.btb
+    prefetcher = core.prefetcher
+
+    view = feed.view
+    bchg = feed.bchg
+
+    # hoisted configuration / bound methods (matches run_replay)
+    width = cfg.width
+    rob_cap = cfg.rob_entries
+    redirect_penalty = cfg.redirect_penalty
+    alu_latency = cfg.alu_latency
+    mul_latency = cfg.mul_latency
+    store_latency = cfg.store_latency
+    drain_rate = cfg.prefetch_drain_rate
+    fetch_shift = core._fetch_shift
+    l1_latency = hierarchy.config.l1_latency
+    h_load = hierarchy.load
+    h_store = hierarchy.store
+    h_ifetch = hierarchy.ifetch
+    h_oracle = hierarchy.access_oracle
+    is_perfect = prefetcher is not None and prefetcher.is_perfect
+    pf_drain = prefetcher.drain if prefetcher is not None else None
+    pf_queue = prefetcher.queue if prefetcher is not None else None
+    on_commit = core._pf_on_commit
+    on_branch_decode = core._pf_on_branch_decode
+    on_load = None
+    on_store = None
+    if prefetcher is not None and not is_perfect:
+        hook = prefetcher.on_load
+        on_load = None if _noop_hook(_BasePrefetcher.on_load, hook) else hook
+        hook = prefetcher.on_store
+        on_store = (
+            None if _noop_hook(_BasePrefetcher.on_store, hook) else hook
+        )
+    predict = predictor.predict
+    predictor_update = predictor.update
+    confidence_update = confidence.update
+    btb_lookup = btb.lookup
+    btb_update = btb.update
+
+    # inlined L1 fast-path bindings (eligibility guarantees policy=None)
+    l1d = hierarchy.l1d
+    l1i = hierarchy.l1i
+    d_sets = l1d.sets
+    d_set_mask = l1d._set_mask
+    d_shift = l1d.block_shift
+    d_stats = l1d.stats
+    i_sets = l1i.sets
+    i_set_mask = l1i._set_mask
+    i_shift = l1i.block_shift
+    i_stats = l1i.stats
+
+    regs = machine.regs
+
+    # lane columns -> locals; the register/ROB/histogram columns are
+    # hydrated into plain lists for the slice (list indexing is the
+    # fastest access CPython offers) and flushed back on exit
+    rr = lane * REG_STRIDE
+    reg_ready = st.reg_ready[rr:rr + REG_STRIDE].tolist()
+    fb = lane * HIST_STRIDE
+    fbh = st.fbh[fb:fb + HIST_STRIDE].tolist()
+    ring = st.rob_ring
+    rbase = lane * ring
+    rmask = st.rob_mask
+    rob = st.rob[rbase:rbase + ring].tolist()
+    rhead = st.rhead[lane]
+    rtail = st.rtail[lane]
+    now = st.cyc[lane]
+    pos = st.pos[lane]
+    bcursor = st.bcur[lane]
+    retired = st.retired[lane]
+    budget = st.budget[lane]
+    fetch_stall_until = st.fstall[lane]
+    fetch_block = st.fblock[lane]
+    cond_branches = st.cond[lane]
+    branches = st.branch[lane]
+    mispredicts = st.misp[lane]
+    fetch_cycles = st.fcyc[lane]
+    rob_full_stalls = st.robfull[lane]
+    flush_stall_cycles = st.flush[lane]
+    finished = False
+
+    while True:
+        if retired >= stop_retired:
+            break
+        # retire (in order, up to width)
+        limit = rhead + width
+        while (
+            rhead < rtail
+            and rhead < limit
+            and rob[rhead & rmask] <= now
+        ):
+            rhead += 1
+            retired += 1
+        if retired >= budget:
+            now += 1
+            finished = True
+            break
+
+        # drain queued prefetches into the hierarchy
+        if pf_drain is not None and len(pf_queue):
+            pf_drain(hierarchy, now, drain_rate)
+
+        # fetch / dispatch
+        fetched = 0
+        branches_in_group = 0
+        if now >= fetch_stall_until:
+            in_flight = rtail - rhead
+            dispatched_total = retired + in_flight
+            while (
+                fetched < width
+                and in_flight < rob_cap
+                and dispatched_total < budget
+            ):
+                (vkind, instr, pc, ra, rb, rd, ea, taken, value, wreg,
+                 taken_target, next_pc) = view[pos]
+                changed = bchg[pos]
+                pos += 1
+                if wreg >= 0:
+                    regs[wreg] = value
+                if changed:
+                    fetch_block = pc >> fetch_shift
+                    # ---- inlined L1I plain-hit fast path
+                    iblock = pc >> i_shift
+                    line = i_sets[iblock & i_set_mask].get(iblock)
+                    if (
+                        line is not None
+                        and line.ready <= now
+                        and (not line.prefetched or line.used)
+                    ):
+                        i_stats.accesses += 1
+                        i_stats.hits += 1
+                        tick = l1i._tick + 1
+                        l1i._tick = tick
+                        line.lru = tick
+                    else:
+                        ifetch_latency = h_ifetch(pc, now)
+                        if ifetch_latency > l1_latency:
+                            fetch_stall_until = now + ifetch_latency
+                fetched += 1
+                in_flight += 1
+                dispatched_total += 1
+
+                # ---- dispatch (transcribed from run_replay)
+                ready = now + 1
+                if ra >= 0 and reg_ready[ra] > ready:
+                    ready = reg_ready[ra]
+                if rb >= 0 and reg_ready[rb] > ready:
+                    ready = reg_ready[rb]
+                group_ends = False
+                if vkind == 0:  # load
+                    if is_perfect:
+                        complete = ready + h_oracle(ea, ready)
+                    else:
+                        # ---- inlined L1D plain-hit fast path
+                        dblock = ea >> d_shift
+                        line = d_sets[dblock & d_set_mask].get(dblock)
+                        if (
+                            line is not None
+                            and line.ready <= ready
+                            and (not line.prefetched or line.used)
+                        ):
+                            hierarchy._now = ready
+                            d_stats.accesses += 1
+                            d_stats.hits += 1
+                            tick = l1d._tick + 1
+                            l1d._tick = tick
+                            line.lru = tick
+                            complete = ready + l1_latency
+                            if on_load is not None:
+                                on_load(pc, ea, True, now)
+                        else:
+                            latency, hit = h_load(ea, ready)
+                            if on_load is not None:
+                                on_load(pc, ea, hit, now)
+                            complete = ready + latency
+                    reg_ready[rd] = complete
+                elif vkind == 1:  # store
+                    if is_perfect:
+                        h_oracle(ea, ready)
+                    else:
+                        # ---- inlined L1D plain-hit fast path (+ dirty)
+                        dblock = ea >> d_shift
+                        line = d_sets[dblock & d_set_mask].get(dblock)
+                        if (
+                            line is not None
+                            and line.ready <= ready
+                            and (not line.prefetched or line.used)
+                        ):
+                            hierarchy._now = ready
+                            d_stats.accesses += 1
+                            d_stats.hits += 1
+                            tick = l1d._tick + 1
+                            l1d._tick = tick
+                            line.lru = tick
+                            line.dirty = True
+                        else:
+                            h_store(ea, ready)
+                        if on_store is not None:
+                            on_store(pc, ea, True, now)
+                    complete = ready + store_latency
+                elif vkind == 2:  # conditional branch
+                    complete = ready + alu_latency
+                    if outcomes is None:
+                        history = predictor.history
+                        predicted = predict(pc)
+                        correct = predicted == taken
+                    else:
+                        predicted, correct = outcomes[bcursor]
+                        bcursor += 1
+                    cond_branches += 1
+                    if not correct:
+                        mispredicts += 1
+                    if outcomes is None:
+                        confidence_update(pc, history, correct, taken)
+                        predictor_update(pc, taken)
+                    if on_branch_decode is not None:
+                        on_branch_decode(pc, predicted, taken_target, now)
+                    if not correct:
+                        fetch_stall_until = complete + redirect_penalty
+                        group_ends = True
+                    else:
+                        group_ends = predicted
+                    branches += 1
+                elif vkind == 3:  # indirect jump
+                    complete = ready + alu_latency
+                    if outcomes is None:
+                        predicted_target = btb_lookup(pc)
+                        btb_update(pc, next_pc)
+                        correct = predicted_target == next_pc
+                        confidence_update(pc, predictor.history, correct,
+                                          True)
+                    else:
+                        predicted_target, correct = outcomes[bcursor]
+                        bcursor += 1
+                    if on_branch_decode is not None:
+                        on_branch_decode(pc, True, predicted_target, now)
+                    if not correct:
+                        mispredicts += 1
+                        fetch_stall_until = complete + redirect_penalty
+                    group_ends = True
+                    branches += 1
+                elif vkind == 4:  # direct unconditional branch
+                    complete = ready + alu_latency
+                    if outcomes is None:
+                        confidence_update(pc, predictor.history, True, True)
+                    if on_branch_decode is not None:
+                        on_branch_decode(pc, True, taken_target, now)
+                    group_ends = True
+                    branches += 1
+                else:  # mul / alu / nop / halt
+                    if vkind == 5:
+                        complete = ready + mul_latency
+                    else:
+                        complete = ready + alu_latency
+                    if rd >= 0:
+                        reg_ready[rd] = complete
+                rob[rtail & rmask] = complete
+                rtail += 1
+                if on_commit is not None:
+                    on_commit(instr, ea, taken, next_pc, regs, complete)
+                # ---- end dispatch
+
+                if 2 <= vkind <= 4:
+                    branches_in_group += 1
+                if group_ends:
+                    break
+        if fetched:
+            fetch_cycles += 1
+            if branches_in_group:
+                bucket = branches_in_group if branches_in_group < 4 else 4
+                fbh[bucket] += 1
+            now += 1
+            continue
+
+        # idle: jump to the next event
+        if now < fetch_stall_until:
+            flush_stall_cycles += 1
+        elif rtail - rhead >= rob_cap:
+            rob_full_stalls += 1
+        candidates = []
+        if rhead < rtail:
+            candidates.append(rob[rhead & rmask])
+        if now < fetch_stall_until:
+            candidates.append(fetch_stall_until)
+        if prefetcher is not None and len(pf_queue):
+            now += 1  # keep draining at full rate
+            continue
+        if not candidates:
+            now += 1
+            continue
+        next_event = min(candidates)
+        now = now + 1 if next_event <= now else next_event
+
+    # locals -> lane columns
+    st.reg_ready[rr:rr + REG_STRIDE] = array("q", reg_ready)
+    st.fbh[fb:fb + HIST_STRIDE] = array("q", fbh)
+    st.rob[rbase:rbase + ring] = array("q", rob)
+    st.rhead[lane] = rhead
+    st.rtail[lane] = rtail
+    st.cyc[lane] = now
+    st.pos[lane] = pos
+    st.bcur[lane] = bcursor
+    st.retired[lane] = retired
+    st.fstall[lane] = fetch_stall_until
+    st.fblock[lane] = fetch_block
+    st.cond[lane] = cond_branches
+    st.branch[lane] = branches
+    st.misp[lane] = mispredicts
+    st.fcyc[lane] = fetch_cycles
+    st.robfull[lane] = rob_full_stalls
+    st.flush[lane] = flush_stall_cycles
+    if finished:
+        st.done[lane] = 1
+    return finished

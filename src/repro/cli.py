@@ -59,6 +59,7 @@ whenever anything beyond plain cache hits/misses happened.
 """
 
 import argparse
+import math
 import os
 import sys
 
@@ -270,6 +271,8 @@ def cmd_bench_perf(args):
         serve_instructions=args.serve_instructions,
         trace_replay=args.trace_replay,
         trace_replay_instructions=args.trace_replay_instructions,
+        batch=args.batch,
+        batch_instructions=args.batch_instructions,
     )
     print(render_summary(payload))
     if not args.no_write:
@@ -377,22 +380,37 @@ _DURATION_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
 
 def _duration_seconds(text):
     """Argparse type: a duration like ``30d``, ``12h``, ``45m`` or bare
-    seconds; strictly positive."""
+    seconds; strictly positive and finite.
+
+    Accepted forms: a number with one optional trailing unit from
+    ``s``/``m``/``h``/``d``/``w`` (seconds, minutes, hours, days,
+    weeks; no unit means seconds).  ``nan``/``inf``, zero, negatives
+    and anything malformed (mixed forms like ``1h30m``, stray text,
+    empty input) raise :class:`argparse.ArgumentTypeError` naming the
+    accepted units.
+    """
+    units = "/".join(sorted(_DURATION_UNITS, key=_DURATION_UNITS.get))
+    malformed = argparse.ArgumentTypeError(
+        "expected a positive duration: a number with an optional unit "
+        "suffix %s (e.g. '30d', '12h', '45m', '90'), got %r"
+        % (units, text)
+    )
     raw = text.strip().lower()
     unit = 1
     if raw and raw[-1] in _DURATION_UNITS:
         unit = _DURATION_UNITS[raw[-1]]
         raw = raw[:-1]
+    # float() accepts 'nan', 'inf' and '1_0'; none of them is a duration
+    if not raw or raw[-1] not in "0123456789." or "_" in raw:
+        raise malformed
     try:
         value = float(raw) * unit
     except ValueError:
+        raise malformed
+    if not math.isfinite(value) or value <= 0:
         raise argparse.ArgumentTypeError(
-            "expected a duration like '30d', '12h', '45m' or seconds, "
-            "got %r" % (text,)
-        )
-    if value <= 0:
-        raise argparse.ArgumentTypeError(
-            "expected a positive duration, got %r" % (text,)
+            "expected a strictly positive finite duration, got %r "
+            "(units: %s)" % (text, units)
         )
     return value
 
@@ -682,6 +700,13 @@ def build_parser():
                        default=10_000,
                        help="instruction budget per trace-replay "
                             "sweep run")
+    bench.add_argument("--batch", action="store_true",
+                       help="also bench the SoA batch kernel (sweep "
+                            "via REPRO_BATCH=on vs lockstep and vs "
+                            "scalar replay, repeated-sweep speedup)")
+    bench.add_argument("--batch-instructions", type=_positive_int,
+                       default=10_000,
+                       help="instruction budget per batch sweep run")
     bench.add_argument("-j", "--jobs", type=_positive_int, default=None,
                        help="worker processes for the parallel sweep pass")
     bench.add_argument("--label", default=None,

@@ -77,12 +77,43 @@ _COUNTERS = (
 
 
 def quantile(values, q):
-    """Nearest-rank quantile of an unsorted sequence (0 when empty)."""
+    """Linearly interpolated quantile of an unsorted sequence.
+
+    Uses the standard "type 7" estimator (numpy's default): the
+    quantile sits at fractional rank ``h = (n - 1) * q`` and is
+    interpolated between the two bracketing order statistics.  The
+    previous nearest-rank-by-truncation rule (``int(q * n)``) pinned
+    every upper quantile of a small window to the window *maximum* --
+    for any n < 100, ``int(0.99 * n)`` is ``n - 1`` -- so a single
+    outlier reported as the p99 until 100 samples had arrived.
+
+    Worked example over ``[10, 20, 30, 40]``:
+
+    ====  ==================  ===============  ===================
+    q     fractional rank h   old (truncate)   now (interpolate)
+    ====  ==================  ===============  ===================
+    0.00  0.00                10               10.0
+    0.50  1.50                30               25.0
+    0.95  2.85                40               38.5
+    0.99  2.97                40               39.7
+    1.00  3.00                40               40.0
+    ====  ==================  ===============  ===================
+
+    Returns 0.0 for an empty sequence; *q* is clamped into [0, 1].
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, int(q * len(ordered))))
-    return ordered[index]
+    n = len(ordered)
+    if n == 1:
+        return float(ordered[0])
+    q = min(1.0, max(0.0, q))
+    h = (n - 1) * q
+    low = int(h)
+    frac = h - low
+    if frac == 0.0:
+        return float(ordered[low])
+    return ordered[low] + (ordered[low + 1] - ordered[low]) * frac
 
 
 class _LatencySeries(object):
