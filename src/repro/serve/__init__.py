@@ -19,12 +19,25 @@ service:
   (``docs/fleet.md``).
 * :class:`BreakerBoard` -- per-benchmark circuit breakers shedding
   persistently-failing workloads with typed ``circuit-open`` errors.
+* :class:`ClusterSupervisor` -- the cluster backend (``--cluster``):
+  remote worker nodes (``repro node --connect``), a replicated
+  content-addressed cache tier (:class:`CachePeerServer` /
+  :class:`PeerSet`), shard scheduling with work stealing, and
+  degraded-mode fallback (``docs/cluster.md``).
 
-See ``docs/serving.md`` and ``docs/fleet.md`` for worked examples.
+See ``docs/serving.md``, ``docs/fleet.md`` and ``docs/cluster.md``
+for worked examples.
 """
 
 from repro.serve.breaker import BreakerBoard, CircuitBreaker
 from repro.serve.client import ServeClient, ServeError
+from repro.serve.cluster import (
+    CachePeerServer,
+    ClusterSupervisor,
+    NodeAgent,
+    NodeHandle,
+    PeerSet,
+)
 from repro.serve.fleet import DeadlineExceeded, WorkerSupervisor
 from repro.serve.health import WorkerHealth
 from repro.serve.jobs import Job, JobTable
@@ -47,7 +60,9 @@ __all__ = [
     "AdmissionQueue",
     "BUSY_CLASS_CODES",
     "BreakerBoard",
+    "CachePeerServer",
     "CircuitBreaker",
+    "ClusterSupervisor",
     "DeadlineExceeded",
     "ERROR_CODES",
     "FrameDecoder",
@@ -56,6 +71,9 @@ __all__ = [
     "JobServer",
     "JobTable",
     "MAX_FRAME_BYTES",
+    "NodeAgent",
+    "NodeHandle",
+    "PeerSet",
     "ProtocolError",
     "QueueFull",
     "ServeClient",

@@ -27,6 +27,7 @@ Transitions are observable: ``on_transition(benchmark, old, new)``
 feeds the ``serve.fleet.breaker.*`` counters.
 """
 
+import threading
 import time
 
 BREAKER_STATES = ("closed", "open", "half-open")
@@ -148,6 +149,12 @@ class BreakerBoard(object):
     All breakers share one configuration; *on_transition* is invoked as
     ``on_transition(benchmark, old_state, new_state)`` for every state
     change (the server bumps ``serve.fleet.breaker.*`` counters there).
+
+    The board is thread-safe: every state read or verdict fold holds
+    one lock, so concurrent recorders (bench harnesses, cluster-side
+    callers off the loop thread) cannot tear a breaker's window or
+    double-create a breaker.  ``on_transition`` fires outside the lock
+    -- a callback that re-enters the board must not deadlock.
     """
 
     def __init__(self, window=DEFAULT_WINDOW, min_events=DEFAULT_MIN_EVENTS,
@@ -159,6 +166,7 @@ class BreakerBoard(object):
                             cooldown=cooldown, clock=clock)
         self.on_transition = on_transition
         self._breakers = {}
+        self._lock = threading.Lock()
 
     def _get(self, benchmark):
         breaker = self._breakers.get(benchmark)
@@ -170,24 +178,28 @@ class BreakerBoard(object):
 
     def allow(self, benchmark):
         """True when a job touching *benchmark* may be admitted."""
-        allowed, transition = self._get(benchmark).allow()
+        with self._lock:
+            allowed, transition = self._get(benchmark).allow()
         if transition is not None and self.on_transition is not None:
             self.on_transition(benchmark, *transition)
         return allowed
 
     def record(self, benchmark, success):
         """Fold one terminal outcome for *benchmark*."""
-        transition = self._get(benchmark).record(success)
+        with self._lock:
+            transition = self._get(benchmark).record(success)
         if transition is not None and self.on_transition is not None:
             self.on_transition(benchmark, *transition)
 
     def state(self, benchmark):
-        breaker = self._breakers.get(benchmark)
-        return breaker.state if breaker is not None else "closed"
+        with self._lock:
+            breaker = self._breakers.get(benchmark)
+            return breaker.state if breaker is not None else "closed"
 
     def snapshot(self):
         """``{benchmark: breaker snapshot}`` for non-closed or seen ones."""
-        return {
-            benchmark: breaker.snapshot()
-            for benchmark, breaker in sorted(self._breakers.items())
-        }
+        with self._lock:
+            return {
+                benchmark: breaker.snapshot()
+                for benchmark, breaker in sorted(self._breakers.items())
+            }

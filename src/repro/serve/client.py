@@ -81,6 +81,7 @@ class ServeClient(object):
         self.port = port
         self.timeout = timeout
         self.busy_retries = busy_retries
+        self.reconnects = 0      # transparent reconnect-and-resend count
         self._sock = None
         self._decoder = None
         self._pending = deque()
@@ -118,25 +119,50 @@ class ServeClient(object):
         self.close()
         return False
 
-    def _request(self, message, wait=False):
+    def _request(self, message, wait=False, _retried=False):
         """Send one frame, return the reply; raise :class:`ServeError`.
+
+        A *dropped* connection (reset, broken pipe, clean EOF, or a
+        frame truncated mid-read) is retried transparently exactly
+        once: reconnect, resend the same frame.  This is safe because
+        every request is idempotent -- submissions coalesce onto the
+        live job by digest, reads are pure -- so a retry can never
+        double-execute work.  Typed server errors (including
+        ``deadline-exceeded``) are never retried here, and a second
+        transport failure propagates: one bounded resend, not a loop.
 
         On any transport/protocol failure the connection is dropped so
         the next call reconnects cleanly.
         """
-        sock = self._ensure()
+        try:
+            sock = self._ensure()
+        except OSError as exc:
+            raise ServeError("connection", "server unreachable: %s" % exc)
         try:
             sock.settimeout(None if wait else self.timeout)
             protocol.send_frame(sock, message)
             reply = protocol.recv_frame(sock, self._decoder, self._pending)
         except ProtocolError as exc:
             self.close()
+            if exc.code == "truncated" and not _retried:
+                self.reconnects += 1
+                return self._request(message, wait=wait, _retried=True)
             raise ServeError(exc.code, str(exc))
-        except (OSError, socket.timeout) as exc:
+        except socket.timeout as exc:
+            # a timeout says "slow", not "gone": do not resend blindly
             self.close()
+            raise ServeError("connection", "server unreachable: %s" % exc)
+        except OSError as exc:
+            self.close()
+            if not _retried:
+                self.reconnects += 1
+                return self._request(message, wait=wait, _retried=True)
             raise ServeError("connection", "server unreachable: %s" % exc)
         if reply is None:
             self.close()
+            if not _retried:
+                self.reconnects += 1
+                return self._request(message, wait=wait, _retried=True)
             raise ServeError("connection",
                              "server closed the connection")
         if reply.get("type") == "error":

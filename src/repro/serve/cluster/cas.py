@@ -1,0 +1,407 @@
+"""Replicated content-addressed cache tier (cache peers).
+
+The v3 result cache already *is* a content-addressed store: every entry
+lives at ``<kind>/<digest[:2]>/<kind>-<digest16>.json`` and carries an
+integrity envelope ``{"v", "sha", "data"}`` (see
+:mod:`repro.sim.runner` and :mod:`repro.resilience.envelope`).  This
+module federates those per-host stores into one replicated tier:
+
+* :class:`CachePeerServer` -- a small threaded TCP server exporting one
+  host's cache directory over the length-prefixed frame protocol
+  (``cache-get`` / ``cache-put`` / ``cache-has``), with a deterministic
+  eviction policy bounding the entry count;
+* :class:`PeerSet` -- the client side: read-through fetch on local miss
+  and N-way replication on write, with peer selection by rendezvous
+  (highest-random-weight) hashing so every host independently agrees on
+  where a given entry's replicas live.
+
+Never trust the wire: every entry crossing a socket is re-verified
+against its envelope -- fetched entries before use, pushed entries
+before the receiving server persists them.  A corrupted peer (or the
+``cache-peer-corrupt`` REPRO_FAULTS verb) therefore costs a recompute,
+never a wrong result.
+
+Wire grammar (all frames are JSON objects, 4-byte u32be length prefix)::
+
+    -> {"type": "cache-get",  "path": "<kind>/<aa>/<name>.json"}
+    <- {"type": "cache-entry", "path": ..., "text": "<json>"|null}
+    -> {"type": "cache-has",  "path": ...}
+    <- {"type": "cache-have", "path": ..., "have": true|false}
+    -> {"type": "cache-put",  "path": ..., "text": "<json>"}
+    <- {"type": "cache-ok",   "path": ..., "stored": true|false}
+    -> {"type": "cache-ping"}
+    <- {"type": "cache-pong", "entries": n}
+
+Entry paths are always cache-relative; anything absolute or escaping
+the root (``..``) is rejected with a typed error frame.
+"""
+
+import hashlib
+import os
+import socket
+import threading
+from collections import deque
+
+from repro.obs.io import atomic_write_text, file_signature, \
+    remove_if_unchanged
+from repro.resilience import CacheCorruption, get_fault_plan
+from repro.resilience.envelope import read_envelope_text
+from repro.serve.protocol import (
+    MAX_REPLY_BYTES,
+    ProtocolError,
+    error_message,
+    read_frame_blocking,
+    write_frame_blocking,
+)
+from repro.sim.runner import CACHE_VERSION
+
+#: per-request socket timeout for peer calls, seconds
+PEER_TIMEOUT = 5.0
+
+#: replicas written per entry (including the local copy's host when it
+#: ranks); the tier tolerates ``DEFAULT_REPLICAS - 1`` host losses
+#: without losing a replicated entry
+DEFAULT_REPLICAS = 2
+
+#: completed digests remembered for partition replay
+REPLAY_WINDOW = 512
+
+
+def _valid_relpath(path):
+    """True for a safe cache-relative entry path."""
+    if not isinstance(path, str) or not path:
+        return False
+    if os.path.isabs(path) or "\\" in path:
+        return False
+    parts = path.split("/")
+    return all(part and part not in (".", "..") for part in parts)
+
+
+def rendezvous_rank(path, peers):
+    """Order *peers* (``(host, port)`` pairs) for one entry path.
+
+    Highest-random-weight hashing: every host scores every (entry,
+    peer) pair the same way, so all hosts independently agree on the
+    replica set for an entry without any coordination or ring state.
+    """
+    def score(peer):
+        token = "%s|%s:%d" % (path, peer[0], peer[1])
+        return hashlib.sha1(token.encode()).hexdigest()
+
+    return sorted(peers, key=score, reverse=True)
+
+
+class CachePeerServer(object):
+    """Serve one host's cache directory to its peers, bounded.
+
+    Deterministic eviction: when a ``cache-put`` pushes the store past
+    *max_entries*, the oldest entries by ``(mtime, relpath)`` are
+    removed until the bound holds again -- every replica holding the
+    same entries under the same bound evicts the same victims.
+    """
+
+    def __init__(self, cache_dir, host="127.0.0.1", port=0,
+                 max_entries=None):
+        self.cache_dir = cache_dir
+        self.host = host
+        self.port = port
+        self.max_entries = max_entries
+        self.counters = {
+            "gets": 0, "get_hits": 0, "puts": 0, "put_rejects": 0,
+            "has": 0, "evictions": 0, "corrupt_served": 0,
+        }
+        self._sock = None
+        self._thread = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self):
+        os.makedirs(self.cache_dir, exist_ok=True)
+        self._sock = socket.create_server((self.host, self.port))
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="cache-peer-accept", daemon=True
+        )
+        self._thread.start()
+        return (self.host, self.port)
+
+    @property
+    def address(self):
+        return (self.host, self.port)
+
+    def stop(self):
+        self._stop.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    # -- accept/serve --------------------------------------------------
+
+    def _accept_loop(self):
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_conn, args=(conn,),
+                name="cache-peer-conn", daemon=True,
+            )
+            thread.start()
+
+    def _serve_conn(self, conn):
+        conn.settimeout(PEER_TIMEOUT * 4)
+        reader = conn.makefile("rb")
+        writer = conn.makefile("wb")
+        try:
+            while not self._stop.is_set():
+                try:
+                    message = read_frame_blocking(
+                        reader, max_bytes=MAX_REPLY_BYTES)
+                except (ProtocolError, OSError):
+                    return
+                if message is None:
+                    return
+                try:
+                    reply = self._dispatch(message)
+                except ProtocolError as exc:
+                    reply = exc.as_frame()
+                try:
+                    write_frame_blocking(writer, reply)
+                except (ProtocolError, OSError):
+                    return
+        finally:
+            for handle in (reader, writer):
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, message):
+        kind = message.get("type")
+        if kind == "cache-ping":
+            return {"type": "cache-pong", "entries": self._entry_count(),
+                    "counters": dict(self.counters)}
+        path = message.get("path")
+        if kind in ("cache-get", "cache-has", "cache-put") \
+                and not _valid_relpath(path):
+            return error_message("bad-request",
+                                 "invalid cache entry path %r" % (path,))
+        if kind == "cache-get":
+            return self._do_get(path)
+        if kind == "cache-has":
+            with self._lock:
+                self.counters["has"] += 1
+            have = os.path.isfile(os.path.join(self.cache_dir, path))
+            return {"type": "cache-have", "path": path, "have": have}
+        if kind == "cache-put":
+            return self._do_put(path, message.get("text"))
+        return error_message("unknown-type",
+                             "unsupported cache-peer request %r" % (kind,))
+
+    def _do_get(self, path):
+        with self._lock:
+            self.counters["gets"] += 1
+        text = None
+        try:
+            with open(os.path.join(self.cache_dir, path)) as handle:
+                text = handle.read()
+        except OSError:
+            text = None
+        if text is not None:
+            with self._lock:
+                self.counters["get_hits"] += 1
+            garbage = get_fault_plan().peer_corrupt_payload(path)
+            if garbage is not None:
+                with self._lock:
+                    self.counters["corrupt_served"] += 1
+                text = garbage
+        return {"type": "cache-entry", "path": path, "text": text}
+
+    def _do_put(self, path, text):
+        with self._lock:
+            self.counters["puts"] += 1
+        if not isinstance(text, str):
+            with self._lock:
+                self.counters["put_rejects"] += 1
+            return {"type": "cache-ok", "path": path, "stored": False}
+        # never trust the wire: verify the envelope before persisting,
+        # so one corrupted pusher cannot poison a whole replica set
+        try:
+            read_envelope_text(text, CACHE_VERSION, path=path)
+        except CacheCorruption:
+            with self._lock:
+                self.counters["put_rejects"] += 1
+            return {"type": "cache-ok", "path": path, "stored": False}
+        target = os.path.join(self.cache_dir, path)
+        atomic_write_text(target, text)
+        self._evict_over_bound()
+        return {"type": "cache-ok", "path": path, "stored": True}
+
+    # -- eviction ------------------------------------------------------
+
+    def _entries(self):
+        found = []
+        for dirpath, _dirnames, filenames in os.walk(self.cache_dir):
+            for name in filenames:
+                if name.startswith(".tmp-"):
+                    continue
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, self.cache_dir)
+                try:
+                    stat = os.stat(full)
+                except OSError:
+                    continue
+                found.append((stat.st_mtime, rel.replace(os.sep, "/"),
+                              full, stat))
+        return found
+
+    def _entry_count(self):
+        return len(self._entries())
+
+    def _evict_over_bound(self):
+        if not self.max_entries:
+            return
+        with self._lock:
+            entries = self._entries()
+            excess = len(entries) - self.max_entries
+            if excess <= 0:
+                return
+            entries.sort(key=lambda item: (item[0], item[1]))
+            for _mtime, _rel, full, stat in entries[:excess]:
+                if remove_if_unchanged(full, file_signature(stat)):
+                    self.counters["evictions"] += 1
+
+
+class PeerSet(object):
+    """Client side of the cache-peer tier for one host.
+
+    Owns the peer list (updated by the coordinator's ``peer-update``
+    frames), the read-through fetch with envelope verification, N-way
+    replicated stores, and the replay log of recently completed entries
+    (for post-partition reconnect).
+    """
+
+    def __init__(self, peers=(), replicas=DEFAULT_REPLICAS):
+        self.replicas = max(1, replicas)
+        self.counters = {
+            "hits": 0, "misses": 0, "corrupt": 0,
+            "puts": 0, "put_errors": 0,
+        }
+        self.recent = deque(maxlen=REPLAY_WINDOW)
+        self._peers = []
+        self._lock = threading.Lock()
+        self.set_peers(peers)
+
+    def set_peers(self, peers):
+        cleaned = []
+        for peer in peers or ():
+            host, port = peer
+            cleaned.append((str(host), int(port)))
+        with self._lock:
+            self._peers = cleaned
+
+    @property
+    def peers(self):
+        with self._lock:
+            return list(self._peers)
+
+    def _call(self, peer, message):
+        """One request/reply roundtrip to *peer*; None on any failure."""
+        try:
+            with socket.create_connection(peer,
+                                          timeout=PEER_TIMEOUT) as conn:
+                reader = conn.makefile("rb")
+                writer = conn.makefile("wb")
+                write_frame_blocking(writer, message)
+                return read_frame_blocking(reader,
+                                           max_bytes=MAX_REPLY_BYTES)
+        except (OSError, ProtocolError):
+            return None
+
+    # -- read-through --------------------------------------------------
+
+    def fetch(self, relpath):
+        """Fetch one entry from the replica set; ``(text, payload)`` or
+        ``None``.
+
+        Peers are probed in rendezvous order (replica holders first).
+        Every received entry is verified against its integrity envelope
+        before being trusted; a corrupted reply counts and the next
+        replica is tried.
+        """
+        peers = self.peers
+        if not peers:
+            return None
+        for peer in rendezvous_rank(relpath, peers):
+            reply = self._call(
+                peer, {"type": "cache-get", "path": relpath})
+            if not reply or reply.get("type") != "cache-entry":
+                continue
+            text = reply.get("text")
+            if not isinstance(text, str):
+                continue
+            try:
+                payload = read_envelope_text(
+                    text, CACHE_VERSION,
+                    path="%s:%d/%s" % (peer[0], peer[1], relpath),
+                )
+            except CacheCorruption:
+                with self._lock:
+                    self.counters["corrupt"] += 1
+                continue
+            with self._lock:
+                self.counters["hits"] += 1
+            return text, payload
+        with self._lock:
+            self.counters["misses"] += 1
+        return None
+
+    def has(self, relpath):
+        for peer in rendezvous_rank(relpath, self.peers):
+            reply = self._call(
+                peer, {"type": "cache-has", "path": relpath})
+            if reply and reply.get("have"):
+                return True
+        return False
+
+    # -- replicated write ----------------------------------------------
+
+    def store(self, relpath, text):
+        """Replicate one entry to its top-N rendezvous peers.
+
+        Best-effort: a dead replica is counted, not fatal -- the local
+        copy plus cache-as-checkpoint semantics keep correctness; the
+        replicas only buy availability.  Returns peers stored to.
+        """
+        self.recent.append(relpath)
+        stored = 0
+        peers = self.peers
+        if not peers:
+            return stored
+        for peer in rendezvous_rank(relpath, peers)[:self.replicas]:
+            reply = self._call(peer, {
+                "type": "cache-put", "path": relpath, "text": text,
+            })
+            if reply and reply.get("stored"):
+                with self._lock:
+                    self.counters["puts"] += 1
+                stored += 1
+            else:
+                with self._lock:
+                    self.counters["put_errors"] += 1
+        return stored
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self.counters)

@@ -73,6 +73,16 @@ _COUNTERS = (
     ("fleet.breaker.opened", "circuit breakers tripped open"),
     ("fleet.breaker.half_open", "breaker cooldowns expired into a probe"),
     ("fleet.breaker.closed", "breakers closed by a successful probe"),
+    ("cluster.nodes_joined", "remote nodes adopted by the coordinator"),
+    ("cluster.nodes_lost", "remote nodes dropped (EOF or silent beats)"),
+    ("cluster.shards", "job shards scattered across the member pool"),
+    ("cluster.steals", "shards stolen from stragglers by idle members"),
+    ("cluster.requeues", "shards requeued after losing their member"),
+    ("cluster.replayed", "cache entries replayed from reconnecting nodes"),
+    ("cluster.scale_up", "local workers spawned by the autoscaler"),
+    ("cluster.scale_down", "surplus local workers retired when idle"),
+    ("cluster.degraded_transitions",
+     "times the cluster lost its last node and went local-only"),
 )
 
 
@@ -227,6 +237,37 @@ class ServeMetrics(object):
         self.registry.derived(
             "serve.fleet.workers_live", lambda: fleet.live_count(),
             "fleet workers currently alive",
+        )
+
+    def attach_cluster(self, cluster):
+        """Register derived gauges over a live ClusterSupervisor."""
+        self.registry.derived(
+            "serve.cluster.nodes", lambda: len(cluster.live_nodes()),
+            "remote nodes currently adopted and alive",
+        )
+        self.registry.derived(
+            "serve.cluster.local_workers",
+            lambda: len(cluster.live_locals()),
+            "local workers currently alive (autoscaled)",
+        )
+        self.registry.derived(
+            "serve.cluster.degraded", lambda: cluster.degraded(),
+            "1 while zero nodes are live (running as a local fleet)",
+        )
+        self.registry.derived(
+            "serve.cluster.peer_hits",
+            lambda: cluster.peer_totals().get("hits", 0),
+            "cache-peer fetches that found a replica",
+        )
+        self.registry.derived(
+            "serve.cluster.peer_misses",
+            lambda: cluster.peer_totals().get("misses", 0),
+            "cache-peer fetches that found nothing",
+        )
+        self.registry.derived(
+            "serve.cluster.peer_corrupt",
+            lambda: cluster.peer_totals().get("corrupt", 0),
+            "cache-peer replies rejected by envelope verification",
         )
 
     def bump(self, name, n=1):

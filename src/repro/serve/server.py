@@ -86,6 +86,9 @@ _DEADLINE_MS_RANGE = (1, 86_400_000)
 #: environment knob for the fleet size (``repro serve --workers`` wins)
 ENV_WORKERS = "REPRO_WORKERS"
 
+#: environment knob enabling the cluster tier (``--cluster`` wins)
+ENV_CLUSTER = "REPRO_CLUSTER"
+
 
 def _bad(message, **extra):
     error = ProtocolError(message, code="bad-request")
@@ -146,7 +149,9 @@ class JobServer(object):
                  drain_grace=DEFAULT_DRAIN_GRACE,
                  max_frame_bytes=protocol.MAX_FRAME_BYTES,
                  workers=None, beat_interval=DEFAULT_BEAT_INTERVAL,
-                 max_missed=4, breaker=None):
+                 max_missed=4, breaker=None, cluster=None,
+                 cluster_min_local=0, cluster_max_local=4,
+                 peer_port=0, shard_tasks=None):
         self.host = host
         self.port = port
         self.max_requests_per_job = max_requests_per_job
@@ -158,8 +163,11 @@ class JobServer(object):
         self.max_frame_bytes = max_frame_bytes
         if workers is None:
             workers = int(os.environ.get(ENV_WORKERS, "0") or 0)
+        if cluster is None:
+            cluster = bool(int(os.environ.get(ENV_CLUSTER, "0") or 0))
         self._tmp_cache = None
-        if workers >= 1 and cache_dir is None and runner is None:
+        if (workers >= 1 or cluster) and cache_dir is None \
+                and runner is None:
             # fleet workers are separate processes: they need a real
             # shared on-disk cache (it is also the requeue checkpoint)
             import tempfile
@@ -174,7 +182,29 @@ class JobServer(object):
         self.queue = AdmissionQueue(high_water=high_water,
                                     on_shed=self._shed_expired)
         self.metrics = ServeMetrics(queue=self.queue, table=self.table)
-        if workers >= 1:
+        self.cluster = None
+        if cluster:
+            from repro.serve.cluster.supervisor import ClusterSupervisor
+
+            fleet_cache = cache_dir
+            if fleet_cache is None:
+                fleet_cache = getattr(self.runner, "cache_dir", None)
+            self.tier = None
+            self.fleet = None
+            self.cluster = ClusterSupervisor(
+                cache_dir=fleet_cache, runner=self.runner,
+                local_workers=workers, beat_interval=beat_interval,
+                max_missed=max_missed, policy=policy,
+                batch_jobs=batch_jobs, metrics=self.metrics,
+                min_local=cluster_min_local, max_local=cluster_max_local,
+                queue_depth=lambda: len(self.queue),
+                high_water=high_water, dispatch_width=max_concurrent,
+                shard_tasks=shard_tasks, peer_port=peer_port,
+                on_degraded=self._on_degraded,
+            )
+            self.executor = self.cluster
+            self.metrics.attach_cluster(self.cluster)
+        elif workers >= 1:
             fleet_cache = cache_dir
             if fleet_cache is None:
                 # a pre-built runner: share its disk cache when it has one
@@ -223,6 +253,8 @@ class JobServer(object):
         self.loop = asyncio.get_running_loop()
         if self.fleet is not None:
             await self.fleet.start()
+        if self.cluster is not None:
+            await self.cluster.start()
         self._slots = asyncio.Semaphore(self.executor.max_concurrent)
         self._closed = asyncio.Event()
         self._server = await asyncio.start_server(
@@ -291,6 +323,8 @@ class JobServer(object):
             self.tier.shutdown(wait=False)
         if self.fleet is not None:
             await self.fleet.shutdown()
+        if self.cluster is not None:
+            await self.cluster.shutdown()
         self.flush()
         if self._tmp_cache is not None:
             import shutil
@@ -457,6 +491,15 @@ class JobServer(object):
                 old=old, new=new,
             )
 
+    def _on_degraded(self, live_nodes):
+        """Cluster callback: the live-node count crossed zero (either way)."""
+        if self._serve_channel is not None:
+            self._trace_seq += 1
+            self._serve_channel.emit(
+                "cluster-degraded", self._trace_seq, job="-",
+                nodes=live_nodes, degraded=int(live_nodes == 0),
+            )
+
     def _record_breaker(self, job):
         """Fold one terminal job into its benchmarks' breakers.
 
@@ -481,6 +524,7 @@ class JobServer(object):
 
     async def _handle_conn(self, reader, writer):
         self.metrics.bump("connections.opened")
+        adopted = False
         try:
             while True:
                 try:
@@ -497,17 +541,26 @@ class JobServer(object):
                     continue  # framing intact (bad-json/bad-frame)
                 if message is None:
                     break  # clean EOF
+                if message.get("type") == "node-hello" \
+                        and self.cluster is not None \
+                        and not self.draining:
+                    # hand the connection to the cluster supervisor; the
+                    # NodeHandle's reader task owns it from here on
+                    await self.cluster.adopt_node(message, reader, writer)
+                    adopted = True
+                    break
                 if not await self._serve_one(message, reader, writer):
                     break
         except (ConnectionError, OSError):
             pass  # peer vanished; the server marches on
         finally:
-            self.metrics.bump("connections.closed")
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            if not adopted:
+                self.metrics.bump("connections.closed")
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
 
     async def _serve_one(self, message, reader, writer):
         """Dispatch one message; returns False to close the connection."""
@@ -623,12 +676,23 @@ class JobServer(object):
         return {"type": "cancelling", "job_id": job.id, "state": job.state}
 
     async def _on_fleet(self, message):
-        """Fleet observability: worker rows + breaker states."""
+        """Fleet observability: worker/node rows + breaker states."""
+        if self.cluster is not None:
+            return {
+                "type": "fleet",
+                "mode": "cluster",
+                "workers": self.cluster.snapshot(),
+                "nodes": self.cluster.node_snapshot(),
+                "degraded": self.cluster.degraded(),
+                "peer_totals": self.cluster.peer_totals(),
+                "breakers": self.breakers.snapshot(),
+            }
         workers = self.fleet.snapshot() if self.fleet is not None else []
         return {
             "type": "fleet",
             "mode": "fleet" if self.fleet is not None else "tier",
             "workers": workers,
+            "nodes": [],
             "breakers": self.breakers.snapshot(),
         }
 

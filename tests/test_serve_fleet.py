@@ -436,3 +436,204 @@ class TestClientBusyRetry(object):
         with pytest.raises(ServeError):
             client.submit("mcf", "none", instructions=BUDGET)
         assert len(calls) == 1
+
+
+# ----------------------------------------------------------------------
+# breaker board under concurrent verdict recording
+
+
+class TestBreakerBoardConcurrency(object):
+    def test_concurrent_verdicts_never_tear_the_window(self):
+        """Hammer one board from many threads; invariants must hold.
+
+        The board is the only breaker surface shared across threads
+        (bench harnesses and cluster-side recorders fold verdicts off
+        the loop thread), so concurrent ``record``/``allow`` must not
+        tear a window past its bound, double-create a breaker, or emit
+        an impossible transition.
+        """
+        import threading
+
+        transitions = []
+        t_lock = threading.Lock()
+
+        def on_transition(benchmark, old, new):
+            with t_lock:
+                transitions.append((benchmark, old, new))
+
+        board = BreakerBoard(window=16, min_events=4,
+                             failure_threshold=0.5, cooldown=3600.0,
+                             on_transition=on_transition)
+        benchmarks = ["mcf", "libquantum", "sjeng", "astar"]
+        per_thread = 200
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def hammer(seed):
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    name = benchmarks[(seed + i) % len(benchmarks)]
+                    board.allow(name)
+                    # mcf fails always; the others always succeed
+                    board.record(name, name != "mcf")
+            except Exception as exc:          # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(n,))
+                   for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        snap = board.snapshot()
+        # one breaker per benchmark: lazy creation raced 8 threads but
+        # must still have produced exactly one instance each
+        assert sorted(snap) == sorted(benchmarks)
+        for benchmark, view in snap.items():
+            assert view["state"] in ("closed", "open", "half-open")
+            assert view["events"] <= 16        # window bound held
+        # the always-failing benchmark opened; the healthy ones did not
+        assert board.state("mcf") == "open"
+        for healthy in ("libquantum", "sjeng", "astar"):
+            assert board.state(healthy) == "closed"
+        # exactly one closed->open transition for mcf, none for others
+        opened = [t for t in transitions if t[1:] == ("closed", "open")]
+        assert opened == [("mcf", "closed", "open")]
+
+    def test_concurrent_open_admits_exactly_one_probe(self):
+        """After cooldown, racing ``allow`` calls release one probe."""
+        import threading
+
+        clock = [0.0]
+        board = BreakerBoard(window=8, min_events=2,
+                             failure_threshold=0.5, cooldown=1.0,
+                             clock=lambda: clock[0])
+        for _ in range(4):
+            board.record("mcf", False)
+        assert board.state("mcf") == "open"
+
+        clock[0] = 2.0                        # past cooldown
+        admitted = []
+        a_lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def probe():
+            barrier.wait()
+            if board.allow("mcf"):
+                with a_lock:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # one open->half-open probe; the other seven were rejected
+        assert len(admitted) == 1
+        assert board.state("mcf") == "half-open"
+
+
+# ----------------------------------------------------------------------
+# supervisor respawn backoff: the cap must hold under exhaustion
+
+
+class TestRespawnBackoffCap(object):
+    def test_backoff_delay_is_capped_after_exhaustion(self):
+        """A slot that keeps dying respawns forever at the capped delay.
+
+        ``WorkerSupervisor._respawn`` feeds ``min(respawns, 6)`` into
+        the deterministic backoff, so a worker that has died 50 times
+        waits exactly as long as one that died 6 times -- bounded,
+        never overflowing, and the slot is never abandoned.
+        """
+        from repro.serve.fleet import (
+            RESPAWN_POLICY,
+            WorkerSupervisor,
+        )
+        from repro.resilience import backoff_delay
+
+        class _Slot(object):
+            def __init__(self):
+                self.id = 0
+                self.respawns = 0
+                self.spawned = 0
+                self.state = "dead"
+                self.alive = False
+
+            async def reap(self):
+                pass
+
+            async def spawn(self):
+                self.spawned += 1
+                self.state = "idle"
+
+        supervisor = WorkerSupervisor.__new__(WorkerSupervisor)
+        supervisor.respawn_policy = RESPAWN_POLICY
+        supervisor.metrics = None
+
+        slept = []
+
+        async def scenario():
+            real_sleep = asyncio.sleep
+
+            async def fake_sleep(delay):
+                slept.append(delay)
+                await real_sleep(0)
+
+            asyncio.sleep = fake_sleep
+            try:
+                slot = _Slot()
+                # drive the slot far past the cap exponent
+                for respawns in (0, 1, 6, 7, 20, 50):
+                    slot.respawns = respawns
+                    await supervisor._respawn(slot)
+                return slot
+            finally:
+                asyncio.sleep = real_sleep
+
+        slot = asyncio.run(scenario())
+
+        # every round respawned the slot (never abandoned) and counted
+        assert slot.spawned == 6
+        assert slot.respawns == 51
+
+        capped = backoff_delay(RESPAWN_POLICY, "worker-0", 6)
+        expected = [backoff_delay(RESPAWN_POLICY, "worker-0", n)
+                    for n in (0, 1, 6)] + [capped] * 3
+        observed = [d for d in slept if d > 0]
+        assert observed == [d for d in expected if d > 0]
+        # the capped tail is flat: exhaustion does not grow the wait
+        assert all(d <= RESPAWN_POLICY.backoff_max * 1.5 + 1e-9
+                   for d in observed)
+
+    def test_respawn_failure_marks_slot_dead_but_not_abandoned(self):
+        """A spawn that raises leaves the slot dead for the next pass."""
+        from repro.serve.fleet import WorkerSupervisor
+        from repro.serve.supervisor import WorkerLost
+        from repro.resilience import FailurePolicy
+
+        class _Slot(object):
+            id = 3
+            respawns = 0
+            state = "dead"
+            alive = False
+
+            async def reap(self):
+                pass
+
+            async def spawn(self):
+                raise WorkerLost("spawn refused")
+
+        supervisor = WorkerSupervisor.__new__(WorkerSupervisor)
+        supervisor.respawn_policy = FailurePolicy(
+            retries=0, backoff_base=0.0, backoff_factor=1.0,
+            backoff_max=0.0, jitter=0.0, seed=0,
+        )
+        supervisor.metrics = None
+        slot = _Slot()
+        asyncio.run(supervisor._respawn(slot))
+        assert slot.state == "dead"
+        assert slot.respawns == 1     # the attempt still counted
