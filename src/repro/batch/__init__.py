@@ -45,10 +45,22 @@ batch_counters = {
     "cmp": 0,        # CMP mixes completed by the batch runner
 }
 
+# why runs fell back, keyed by the batchable()/BatchIneligible reason
+# string -- "decoupled front end is enabled" is the named reason the
+# front-end eligibility tests assert on
+fallback_reasons = {}
+
 
 def reset_batch_counters():
     for key in batch_counters:
         batch_counters[key] = 0
+    fallback_reasons.clear()
+
+
+def record_fallback(reason):
+    """Count one scalar fallback under its named *reason*."""
+    batch_counters["fallback"] += 1
+    fallback_reasons[reason] = fallback_reasons.get(reason, 0) + 1
 
 
 def batch_mode():
@@ -72,5 +84,7 @@ __all__ = [
     "batchable",
     "batch_counters",
     "batch_mode",
+    "fallback_reasons",
+    "record_fallback",
     "reset_batch_counters",
 ]

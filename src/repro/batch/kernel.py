@@ -36,6 +36,10 @@ class BatchIneligible(ValueError):
 
 def batchable(system, budget):
     """Return None when the kernel can serve this run, else the reason."""
+    if system.core.frontend is not None:
+        # the SoA columns transcribe the frontend-free fetch loop; FTQ
+        # run-ahead state has no lane representation
+        return "decoupled front end is enabled"
     if system.replay is None:
         return "no trace replay source"
     machine = system.machine

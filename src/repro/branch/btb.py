@@ -40,6 +40,16 @@ class BranchTargetBuffer:
         self.misses += 1
         return None
 
+    def peek(self, pc):
+        """Like :meth:`lookup` but without touching the hit/miss
+        counters -- the front-end BPU walker probes every instruction
+        slot of a fetch block, which would otherwise drown the demand
+        hit rate."""
+        index, tag = self._slot(pc)
+        if self.tags[index] == tag:
+            return self.targets[index]
+        return None
+
     def update(self, pc, target):
         """Install or refresh the target for the branch at *pc*."""
         index, tag = self._slot(pc)

@@ -6,6 +6,8 @@ Commands
 ``run``        one benchmark under one prefetcher, full stats dump
 ``compare``    one benchmark under several prefetchers (speedup table)
 ``mix``        a multiprogrammed mix on the shared-LLC CMP
+``frontend``   decoupled-front-end head-to-head: B-Fetch-I vs FDIP vs
+               combined over the code-footprint-heavy server profiles
 ``table1``     the Table I storage-overhead accounting
 ``list``       available benchmarks and prefetchers (``--json`` for the
                machine-readable catalog the job server also exposes)
@@ -64,6 +66,7 @@ import os
 import sys
 
 from repro.analysis import overhead_table, render_table
+from repro.frontend import FRONTEND_MODES, IPREFETCHER_NAMES
 from repro.resilience import ON_ERROR_MODES, FailurePolicy
 from repro.sim import CMPSystem, ExperimentRunner, RunRequest, SystemConfig
 from repro.sim.catalog import catalog, render_catalog
@@ -162,10 +165,49 @@ def cmd_run(args):
         if args.checkpoint_every:
             os.environ["REPRO_CKPT_EVERY"] = str(args.checkpoint_every)
     runner = _make_runner(args)
+    config = None
+    if args.frontend != "off" or args.iprefetcher != "none":
+        config = SystemConfig(prefetcher=args.prefetcher,
+                              frontend=args.frontend,
+                              iprefetcher=args.iprefetcher)
     result = runner.run_single(args.benchmark, args.prefetcher,
-                               args.instructions)
+                               args.instructions, config)
     for key, value in sorted(result.as_dict().items()):
         print("%-22s %s" % (key, value))
+    return 0
+
+
+def cmd_frontend(args):
+    """The B-Fetch-I vs FDIP vs combined head-to-head table."""
+    runner = _make_runner(args)
+    for benchmark in args.benchmarks:
+        base = runner.run_single(benchmark, args.prefetcher,
+                                 args.instructions)
+        print("%s (frontend=off baseline: ipc %.3f)"
+              % (benchmark, base.ipc))
+        print("  %-11s %7s %8s %9s %7s %7s %7s %8s"
+              % ("IPREFETCH", "IPC", "SPEEDUP", "L1I-MISS", "FTQ-OCC",
+                 "SHADOW", "COVER", "SH-HITS"))
+        for iprefetcher in IPREFETCHER_NAMES:
+            config = SystemConfig(prefetcher=args.prefetcher,
+                                  frontend="ftq",
+                                  iprefetcher=iprefetcher)
+            result = runner.run_single(benchmark, args.prefetcher,
+                                       args.instructions, config)
+            l1i = result.data["l1i"]
+            fe = result.data["frontend"]
+            miss_rate = l1i["misses"] / max(l1i["accesses"], 1)
+            occupancy = (fe["ftq_occupancy_sum"]
+                         / max(fe["ftq_occupancy_samples"], 1))
+            shadow_rate = (fe["shadow_hits"]
+                           / max(fe["shadow_fills"], 1))
+            coverage = (l1i["prefetch_useful"]
+                        / max(l1i["prefetch_useful"] + l1i["misses"], 1))
+            print("  %-11s %7.3f %7.2fx %8.1f%% %7.1f %6.1f%% %6.1f%% %8d"
+                  % (iprefetcher, result.ipc, result.ipc / base.ipc,
+                     miss_rate * 100, occupancy, shadow_rate * 100,
+                     coverage * 100, fe["shadow_hits"]))
+    _report_batch(runner)
     return 0
 
 
@@ -292,7 +334,9 @@ def cmd_stats(args):
     from repro.workloads.spec import build_workload as _build
 
     system = System(_build(args.benchmark),
-                    SystemConfig(prefetcher=args.prefetcher))
+                    SystemConfig(prefetcher=args.prefetcher,
+                                 frontend=args.frontend,
+                                 iprefetcher=args.iprefetcher))
     system.run(args.instructions)
     if args.json:
         print(_json.dumps(system.stats.as_dict(), indent=2, sort_keys=True))
@@ -692,6 +736,13 @@ def build_parser():
     run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                      help="checkpoint directory (default: REPRO_CKPT_DIR "
                           "or .repro-checkpoints)")
+    run.add_argument("--frontend", choices=FRONTEND_MODES, default="off",
+                     help="decoupled front end mode (ftq = FTQ-driven "
+                          "fetch with L1-I timing and shadow-branch "
+                          "BTB fills)")
+    run.add_argument("--iprefetcher", choices=IPREFETCHER_NAMES,
+                     default="none",
+                     help="I-side prefetcher (requires --frontend ftq)")
     run.add_argument("--resume", action="store_true",
                      help="resume from the checkpoint left by an "
                           "interrupted run (enables checkpointing; the "
@@ -715,6 +766,21 @@ def build_parser():
                      choices=PREFETCHER_NAMES)
     _add_common(mix)
     mix.set_defaults(func=cmd_mix)
+
+    frontend = sub.add_parser(
+        "frontend",
+        help="decoupled-front-end head-to-head (B-Fetch-I vs FDIP vs "
+             "combined)",
+    )
+    frontend.add_argument("--benchmarks", nargs="+", choices=BENCHMARKS,
+                          default=["nginx", "postgres", "verilator"],
+                          help="workloads to compare on (default: the "
+                               "code-footprint-heavy server profiles)")
+    frontend.add_argument("--prefetcher", choices=PREFETCHER_NAMES,
+                          default="none",
+                          help="D-side prefetcher to run alongside")
+    frontend.set_defaults(func=cmd_frontend)
+    _add_common(frontend)
 
     table1 = sub.add_parser("table1", help="storage overhead accounting")
     table1.set_defaults(func=cmd_table1)
@@ -800,6 +866,11 @@ def build_parser():
                             "SUBSTRING (e.g. 'pf.' or 'mem.l1d')")
     stats.add_argument("--json", action="store_true",
                        help="emit the nested registry dump as JSON")
+    stats.add_argument("--frontend", choices=FRONTEND_MODES, default="off",
+                       help="decoupled front end mode")
+    stats.add_argument("--iprefetcher", choices=IPREFETCHER_NAMES,
+                       default="none",
+                       help="I-side prefetcher (requires --frontend ftq)")
     stats.set_defaults(func=cmd_stats)
 
     trace = sub.add_parser(

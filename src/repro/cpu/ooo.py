@@ -61,6 +61,7 @@ class CoreConfig:
         store_latency=1,
         prefetch_drain_rate=2,
         block_bytes=64,
+        frontend="off",
     ):
         # fail fast: a zero-wide pipeline or non-positive latency makes
         # the cycle loop diverge or silently stall forever
@@ -92,6 +93,13 @@ class CoreConfig:
         if 1 << self.block_shift != block_bytes:
             raise ValueError("block size must be a power of two, got %r"
                              % (block_bytes,))
+        from repro.frontend.config import FRONTEND_MODES
+        if frontend not in FRONTEND_MODES:
+            raise ValueError(
+                "CoreConfig.frontend must be one of %s, got %r"
+                % (", ".join(FRONTEND_MODES), frontend)
+            )
+        self.frontend = frontend
 
 
 class OutOfOrderCore:
@@ -126,6 +134,11 @@ class OutOfOrderCore:
         # fetch-block geometry follows the configured L1 line size (not a
         # hard-coded 64B shift) so non-default lines redirect correctly
         self._fetch_shift = self.config.block_shift
+        # decoupled front end: None until bind_frontend() (and always
+        # None with CoreConfig.frontend="off" -- that path is untouched)
+        self.frontend = None
+        self._if_on_commit = None
+        self._if_on_branch_decode = None
         # pipeline state
         self.cycle = 0
         self.reg_ready = [0] * 32
@@ -151,6 +164,24 @@ class OutOfOrderCore:
         """Cache the tracer's ``branch`` channel (None disables)."""
         self._trace_branch = (
             tracer.channel("branch") if tracer is not None else None
+        )
+
+    def bind_frontend(self, frontend):
+        """Attach a :class:`~repro.frontend.DecoupledFrontEnd`; fetch
+        then goes through its FTQ + L1-I demand path, and the I-side
+        prefetcher's commit/decode hooks are pre-bound with the same
+        no-op elision as the D-side ones."""
+        self.frontend = frontend
+        iprefetcher = frontend.iprefetcher
+        hook = iprefetcher.on_commit
+        self._if_on_commit = (
+            None if _noop_hook(_BasePrefetcher.on_commit, hook) else hook
+        )
+        hook = iprefetcher.on_branch_decode
+        self._if_on_branch_decode = (
+            None
+            if _noop_hook(_BasePrefetcher.on_branch_decode, hook)
+            else hook
         )
 
     # ------------------------------------------------------------------
@@ -194,6 +225,12 @@ class OutOfOrderCore:
         if prefetcher is not None and len(prefetcher.queue):
             prefetcher.drain(self.hierarchy, now, cfg.prefetch_drain_rate)
 
+        # decoupled front end: the BPU run-ahead advances every cycle,
+        # including I-miss and redirect stall cycles -- the decoupling
+        frontend = self.frontend
+        if frontend is not None:
+            frontend.tick(now)
+
         # fetch / dispatch
         fetched = 0
         branches_in_group = 0
@@ -204,6 +241,10 @@ class OutOfOrderCore:
             hierarchy = self.hierarchy
             l1_latency = hierarchy.config.l1_latency
             is_branch = _IS_BRANCH
+            demand_ifetch = (
+                hierarchy.ifetch if frontend is None
+                else frontend.demand_fetch
+            )
             # _rob_head is only moved by retire, so in-flight occupancy
             # can be tracked locally instead of re-measuring the ROB list
             # on every loop iteration
@@ -221,7 +262,7 @@ class OutOfOrderCore:
                 block = pc >> fetch_shift
                 if block != fetch_block:
                     fetch_block = block
-                    ifetch_latency = hierarchy.ifetch(pc, now)
+                    ifetch_latency = demand_ifetch(pc, now)
                     if ifetch_latency > l1_latency:
                         self.fetch_stall_until = now + ifetch_latency
                 fetched += 1
@@ -252,6 +293,8 @@ class OutOfOrderCore:
             candidates.append(self.fetch_stall_until)
         if prefetcher is not None and len(prefetcher.queue):
             return now + 1  # keep draining at full rate
+        if frontend is not None and frontend.busy():
+            return now + 1  # keep the run-ahead and I-drain ticking
         if not candidates:
             return now + 1
         return max(now + 1, min(candidates))
@@ -309,6 +352,10 @@ class OutOfOrderCore:
         if on_commit is not None:
             machine = self.machine
             on_commit(instr, ea, taken, machine.pc, machine.regs, complete)
+        on_commit = self._if_on_commit
+        if on_commit is not None:
+            machine = self.machine
+            on_commit(instr, ea, taken, machine.pc, machine.regs, complete)
         return group_ends
 
     def _handle_branch(self, instr, taken, now, resolve_time):
@@ -319,6 +366,9 @@ class OutOfOrderCore:
         op = instr.op
         predictor = self.predictor
         on_branch_decode = self._pf_on_branch_decode
+
+        frontend = self.frontend
+        if_decode = self._if_on_branch_decode
 
         if _IS_COND_BRANCH[op]:
             history = predictor.history
@@ -333,11 +383,20 @@ class OutOfOrderCore:
                            predicted=predicted, correct=correct)
             self.confidence.update(pc, history, correct, taken)
             predictor.update(pc, taken)
+            taken_target = pc + 4 * (instr.target - instr.index)
             if on_branch_decode is not None:
-                taken_target = pc + 4 * (instr.target - instr.index)
                 on_branch_decode(pc, predicted, taken_target, now)
+            if if_decode is not None:
+                if_decode(pc, predicted, taken_target, now)
+            if frontend is not None and taken:
+                # demand-train the BTB on executed taken direct branches
+                # so the BPU run-ahead walker can see them (off mode
+                # keeps the BTB JR-only, untouched)
+                self.btb.update(pc, taken_target)
             if not correct:
                 self.fetch_stall_until = resolve_time + cfg.redirect_penalty
+                if frontend is not None:
+                    frontend.redirect(actual_next, now)
                 return True
             return predicted  # predicted-taken ends the fetch group
         if op == _OP_JR:
@@ -349,15 +408,23 @@ class OutOfOrderCore:
             self.confidence.update(pc, predictor.history, correct, True)
             if on_branch_decode is not None:
                 on_branch_decode(pc, True, predicted_target, now)
+            if if_decode is not None:
+                if_decode(pc, True, predicted_target, now)
             if not correct:
                 self.mispredicts += 1
                 self.fetch_stall_until = resolve_time + cfg.redirect_penalty
+                if frontend is not None:
+                    frontend.redirect(actual_next, now)
             return True
         # direct unconditional: target known at decode, no mispredict
         self.confidence.update(pc, predictor.history, True, True)
+        taken_target = pc + 4 * (instr.target - instr.index)
+        if frontend is not None:
+            self.btb.update(pc, taken_target)
         if on_branch_decode is not None:
-            taken_target = pc + 4 * (instr.target - instr.index)
             on_branch_decode(pc, True, taken_target, now)
+        if if_decode is not None:
+            if_decode(pc, True, taken_target, now)
         return True
 
     # ------------------------------------------------------------------

@@ -1,0 +1,147 @@
+"""Predecode stage: shadow-branch discovery on L1-I fills.
+
+Whenever a line enters the L1-I (demand miss or prefetch issue) the
+predecoder scans its instructions in the static program image -- the
+model's stand-in for the predecode bits a real front end extracts from
+the incoming cache line -- and installs the taken targets of *shadow
+branches* into the BTB.  A shadow branch is a branch present in the
+fetched block that is not the entry point of the fetch ("Exposing
+Shadow Branches"): without the early fill the BPU run-ahead walker
+cannot see it until it first executes, so the walker sails past it and
+the FTQ flushes when the branch is actually taken.
+
+Only direct branches (conditional + ``BR``) are installed -- their taken
+target is static; ``JR`` targets stay last-target-predicted by the
+normal execution-time BTB update.
+"""
+
+from repro.isa.opcodes import COND_BRANCHES, Op
+
+_OP_JR = int(Op.JR)
+_OP_BR = int(Op.BR)
+_COND_OPS = frozenset(int(op) for op in COND_BRANCHES)
+
+
+class Predecoder:
+    """Scans filled L1-I blocks and fills the BTB with shadow branches.
+
+    :param program: the static :class:`~repro.isa.Program` image.
+    :param btb: the pipeline's shared
+        :class:`~repro.branch.BranchTargetBuffer`.
+    :param block_bytes: L1-I line size (fetch-block geometry).
+    """
+
+    def __init__(self, program, btb, block_bytes):
+        shift = block_bytes.bit_length() - 1
+        if 1 << shift != block_bytes:
+            raise ValueError("block size must be a power of two, got %r"
+                             % (block_bytes,))
+        self.program = program
+        self.btb = btb
+        self.block_bytes = block_bytes
+        self.block_shift = shift
+        base = program.base_pc
+        self._base_pc = base
+        self._limit_pc = program.pc_of(len(program) - 1)
+        # static per-instruction branch classification and direct taken
+        # targets, precomputed once: the BPU walker probes these every
+        # cycle and the scan must cost O(1) per instruction
+        kinds = [None] * len(program)
+        targets = [None] * len(program)
+        for index, instr in enumerate(program.instrs):
+            op = int(instr.op)
+            if op in _COND_OPS:
+                kinds[index] = "c"
+                targets[index] = base + 4 * instr.target
+            elif op == _OP_BR:
+                kinds[index] = "u"
+                targets[index] = base + 4 * instr.target
+            elif op == _OP_JR:
+                kinds[index] = "u"
+        self._kinds = kinds
+        self._targets = targets
+        self._scanned = set()   # block numbers already predecoded
+        self._shadow = set()    # shadow-installed branch PCs not yet seen
+        # counters
+        self.blocks = 0         # blocks predecoded
+        self.shadow_fills = 0   # BTB entries installed ahead of execution
+        self.shadow_hits = 0    # walker discoveries through a shadow fill
+
+    # ------------------------------------------------------------------
+    # static queries (the BPU walker's view)
+
+    def branch_kind(self, pc):
+        """``"c"``/``"u"``/None for the instruction at *pc* (None when
+        *pc* is outside the program or not a branch)."""
+        index = (pc - self._base_pc) >> 2
+        if 0 <= index < len(self._kinds):
+            return self._kinds[index]
+        return None
+
+    def note_hit(self, pc):
+        """The walker found the branch at *pc* through the BTB; credit
+        the shadow fill if it was never executed before."""
+        shadow = self._shadow
+        if pc in shadow:
+            shadow.discard(pc)
+            self.shadow_hits += 1
+
+    # ------------------------------------------------------------------
+    # fill-time scan
+
+    def on_fill(self, addr, entry_pc=None):
+        """A line entered the L1-I; scan it once and install shadow
+        branches.
+
+        :param entry_pc: the demanded PC for demand fills (the one
+            non-shadow instruction); None for prefetched lines, whose
+            branches are all shadow.
+        """
+        block = addr >> self.block_shift
+        scanned = self._scanned
+        if block in scanned:
+            return
+        scanned.add(block)
+        self.blocks += 1
+        base = self._base_pc
+        kinds = self._kinds
+        targets = self._targets
+        block_bytes = self.block_bytes
+        first_pc = block << self.block_shift
+        start = (max(first_pc, base) - base) >> 2
+        stop = min((first_pc + block_bytes - base) >> 2, len(kinds))
+        btb_update = self.btb.update
+        shadow = self._shadow
+        for index in range(max(start, 0), stop):
+            if kinds[index] is None:
+                continue
+            target = targets[index]
+            if target is None:
+                continue  # indirect: no static taken target
+            pc = base + index * 4
+            if pc == entry_pc:
+                continue  # the entry point is not a shadow branch
+            btb_update(pc, target)
+            shadow.add(pc)
+            self.shadow_fills += 1
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+
+    def snapshot(self):
+        """Scan/shadow sets and counters as a JSON-safe structure (the
+        BTB installs themselves live in the BTB's own snapshot)."""
+        return {
+            "scanned": sorted(self._scanned),
+            "shadow": sorted(self._shadow),
+            "blocks": self.blocks,
+            "shadow_fills": self.shadow_fills,
+            "shadow_hits": self.shadow_hits,
+        }
+
+    def restore(self, state):
+        self._scanned = set(int(block) for block in state["scanned"])
+        self._shadow = set(int(pc) for pc in state["shadow"])
+        self.blocks = state["blocks"]
+        self.shadow_fills = state["shadow_fills"]
+        self.shadow_hits = state["shadow_hits"]

@@ -39,6 +39,7 @@ class HierarchyConfig:
         dram_cycles_per_transfer=10,
         block_bytes=64,
         mshr_entries=8,
+        imshr_entries=4,
         llc_policy="lru",
     ):
         # fail fast on non-positive geometry/latency knobs: a zero-cycle
@@ -54,6 +55,7 @@ class HierarchyConfig:
             ("dram_latency", dram_latency),
             ("block_bytes", block_bytes),
             ("mshr_entries", mshr_entries),
+            ("imshr_entries", imshr_entries),
         ):
             if not isinstance(value, int) or value < 1:
                 raise ValueError(
@@ -83,6 +85,7 @@ class HierarchyConfig:
         self.dram_cycles_per_transfer = dram_cycles_per_transfer
         self.block_bytes = block_bytes
         self.mshr_entries = mshr_entries
+        self.imshr_entries = imshr_entries
         self.llc_policy = llc_policy
 
     def make_llc(self, num_cores=1):
@@ -131,6 +134,9 @@ class MemoryHierarchy:
         # 100-entry prefetch queue), which is precisely why a prefetcher
         # can stream data faster than the demand window can expose misses.
         self._mshr = [0] * cfg.mshr_entries
+        # I-side demand MSHRs, used only by the decoupled front end's
+        # ifetch_demand() path; the legacy ifetch() path stays MSHR-free
+        self._imshr = [0] * cfg.imshr_entries
         # tracing: channels are None when their category is disabled, so
         # the demand path pays at most one identity test per event site
         self._trace_cache = None
@@ -281,6 +287,47 @@ class MemoryHierarchy:
         self.l1i.fill(addr, now)
         return latency
 
+    def ifetch_demand(self, addr, now):
+        """Instruction fetch through the I-MSHRs; ``(latency, l1_hit)``.
+
+        The decoupled front end's demand path: unlike :meth:`ifetch`
+        it reports hit/miss (the predecoder only scans on fills) and
+        bounds I-side memory-level parallelism with its own MSHR file,
+        so a burst of FTQ-driven fills cannot overlap without limit.
+        """
+        cfg = self.config
+        self._now = now
+        line = self.l1i.access(addr, now)
+        if line is not None:
+            latency = cfg.l1_latency
+            if line.ready > now:
+                latency += line.ready - now
+                self.l1i.stats.late_hits += 1
+                if line.prefetched and not line.used:
+                    line.used = True
+                    self.l1i.stats.prefetch_useful += 1
+            elif line.prefetched and not line.used:
+                line.used = True
+                self.l1i.stats.prefetch_useful += 1
+            return latency, True
+        imshr = self._imshr
+        slot = 0
+        earliest = imshr[0]
+        for index in range(1, len(imshr)):
+            if imshr[index] < earliest:
+                earliest = imshr[index]
+                slot = index
+        start = now if now > earliest else earliest
+        miss_latency = self._miss_latency(addr, start)
+        imshr[slot] = start + miss_latency
+        latency = (start - now) + cfg.l1_latency + miss_latency
+        self.l1i.fill(addr, now)
+        trace = self._trace_cache
+        if trace is not None:
+            trace.emit("fill", now, level="L1I", addr=addr,
+                       latency=latency, demand=True)
+        return latency, False
+
     def prefetch_instr(self, addr, now):
         """Prefetch the instruction block holding *addr* into the L1I
         (B-Fetch-I, the paper's instruction-prefetching future work)."""
@@ -352,6 +399,7 @@ class MemoryHierarchy:
             "l1d": self.l1d.snapshot(),
             "l2": self.l2.snapshot(),
             "mshr": list(self._mshr),
+            "imshr": list(self._imshr),
             "now": self._now,
         }
         if include_shared:
@@ -365,6 +413,9 @@ class MemoryHierarchy:
         self.l1d.restore(state["l1d"])
         self.l2.restore(state["l2"])
         self._mshr = [int(value) for value in state["mshr"]]
+        imshr = state.get("imshr")  # absent in pre-front-end snapshots
+        if imshr is not None:
+            self._imshr = [int(value) for value in imshr]
         self._now = state["now"]
         if "llc" in state:
             self.llc.restore(state["llc"])

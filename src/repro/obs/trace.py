@@ -39,7 +39,8 @@ import os
 
 from repro.obs.io import atomic_write_text
 
-CATEGORIES = ("bfetch", "prefetch", "cache", "feedback", "branch", "serve")
+CATEGORIES = ("bfetch", "prefetch", "cache", "feedback", "branch",
+              "frontend", "serve")
 
 _REQUIRED_FIELDS = ("cat", "ev", "cycle")
 

@@ -233,6 +233,22 @@ class Sanitizer:
             if busy_until < 0:
                 self._fail(system, cycle, "mem.mshr", "mshr-time-sign",
                            "slot %d busy until %r" % (slot, busy_until))
+        imshr = hierarchy._imshr
+        if len(imshr) != hierarchy.config.imshr_entries:
+            self._fail(system, cycle, "mem.imshr", "imshr-shape",
+                       "%d slots, configured %d"
+                       % (len(imshr), hierarchy.config.imshr_entries))
+        for slot, busy_until in enumerate(imshr):
+            if busy_until < 0:
+                self._fail(system, cycle, "mem.imshr", "imshr-time-sign",
+                           "slot %d busy until %r" % (slot, busy_until))
+        frontend = system.core.frontend
+        if frontend is not None:
+            ftq = frontend.ftq
+            if len(ftq) > ftq.entries:
+                self._fail(system, cycle, "core.ftq", "ftq-bound",
+                           "%d queued with capacity %d"
+                           % (len(ftq), ftq.entries))
 
     def _check_dram(self, system, cycle):
         dram = system.hierarchy.dram

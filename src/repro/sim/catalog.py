@@ -12,12 +12,15 @@ consumed by three frontends so they can never drift apart:
 
 The payload is plain JSON-serialisable data (schema
 ``repro-catalog-v1``): benchmark entries carry the workload class
-(streaming / spatial / irregular / compute) and the paper's
-prefetch-sensitivity flag, and the top level records the default
-instruction budgets and the result-cache version, so a client can
-predict whether two submissions will share a cache entry.
+(streaming / spatial / irregular / compute / server) and the paper's
+prefetch-sensitivity flag, the I-side prefetcher family and front-end
+modes are listed alongside the D-side prefetchers, and the top level
+records the default instruction budgets and the result-cache version,
+so a client can predict whether two submissions will share a cache
+entry.
 """
 
+from repro.frontend import FRONTEND_MODES, IPREFETCHER_NAMES
 from repro.sim.config import PREDICTOR_NAMES, PREFETCHER_NAMES
 from repro.sim.runner import (
     CACHE_VERSION,
@@ -44,6 +47,8 @@ def catalog():
             for name in BENCHMARKS
         ],
         "prefetchers": list(PREFETCHER_NAMES),
+        "iprefetchers": list(IPREFETCHER_NAMES),
+        "frontend_modes": list(FRONTEND_MODES),
         "branch_predictors": list(PREDICTOR_NAMES),
         "defaults": {
             "single_instructions": DEFAULT_SINGLE_BUDGET,
@@ -78,5 +83,8 @@ def render_catalog():
         lines.append("  %-12s (%s)" % (entry["name"], entry["klass"]))
     lines.append("prefetchers:")
     for name in PREFETCHER_NAMES:
+        lines.append("  %s" % name)
+    lines.append("iprefetchers (frontend=ftq):")
+    for name in IPREFETCHER_NAMES:
         lines.append("  %s" % name)
     return "\n".join(lines)

@@ -12,6 +12,12 @@ from repro.branch.tournament import TournamentConfig, TournamentPredictor
 from repro.core.bfetch import BFetchPrefetcher
 from repro.core.config import BFetchConfig
 from repro.cpu.ooo import CoreConfig
+from repro.frontend import (
+    FRONTEND_MODES,
+    FrontendConfig,
+    IPREFETCHER_NAMES,
+    make_iprefetcher,
+)
 from repro.memory.hierarchy import HierarchyConfig
 from repro.prefetchers import (
     ISBPrefetcher,
@@ -54,6 +60,9 @@ class SystemConfig:
         stride_degree=8,
         nextn_degree=4,
         branch_predictor="tournament",
+        frontend="off",
+        iprefetcher="none",
+        frontend_cfg=None,
     ):
         if branch_predictor not in PREDICTOR_NAMES:
             raise ValueError(
@@ -64,6 +73,21 @@ class SystemConfig:
             raise ValueError(
                 "unknown prefetcher %r (choose from %s)"
                 % (prefetcher, ", ".join(PREFETCHER_NAMES))
+            )
+        if frontend not in FRONTEND_MODES:
+            raise ValueError(
+                "unknown frontend mode %r (choose from %s)"
+                % (frontend, ", ".join(FRONTEND_MODES))
+            )
+        if iprefetcher not in IPREFETCHER_NAMES:
+            raise ValueError(
+                "unknown iprefetcher %r (choose from %s)"
+                % (iprefetcher, ", ".join(IPREFETCHER_NAMES))
+            )
+        if iprefetcher != "none" and frontend == "off":
+            raise ValueError(
+                "iprefetcher %r needs the decoupled front end; pass "
+                "frontend=\"ftq\"" % (iprefetcher,)
             )
         # fail fast on nonsensical sizes instead of letting a zero-wide
         # pipeline or a negative degree corrupt a run far downstream
@@ -90,7 +114,16 @@ class SystemConfig:
             width=width,
             rob_entries=rob_entries,
             block_bytes=self.hierarchy.block_bytes,
+            frontend=frontend,
         )
+        if self.core.frontend != frontend:
+            raise ValueError(
+                "explicit CoreConfig.frontend=%r disagrees with "
+                "SystemConfig.frontend=%r" % (self.core.frontend, frontend)
+            )
+        self.frontend = frontend
+        self.iprefetcher = iprefetcher
+        self.frontend_cfg = frontend_cfg or FrontendConfig()
         self.bfetch = bfetch or BFetchConfig()
         self.sms = sms or SMSConfig()
         self.stride_degree = stride_degree
@@ -109,7 +142,20 @@ class SystemConfig:
         return TournamentPredictor(self.tournament_config())
 
     def key(self):
-        """Stable identity tuple for result caching."""
+        """Stable identity tuple for result caching.
+
+        Front-end fields are appended only when the decoupled front end
+        is enabled, so every pre-front-end cached digest keeps its key.
+        """
+        if self.frontend != "off":
+            return self._base_key() + (
+                self.frontend,
+                self.iprefetcher,
+                self.hierarchy.imshr_entries,
+            ) + self.frontend_cfg.key()
+        return self._base_key()
+
+    def _base_key(self):
         bf = self.bfetch
         return (
             self.width,
@@ -188,3 +234,14 @@ def make_prefetcher(config):
     if name == "stems":
         return STeMSPrefetcher(config.sms)
     raise ValueError("unknown prefetcher %r" % name)
+
+
+def make_iprefetcher_for(config):
+    """Instantiate the I-side prefetcher selected by *config* (the
+    front-end assembly path; geometry follows the L1 line size)."""
+    return make_iprefetcher(
+        config.iprefetcher,
+        config.frontend_cfg,
+        block_bytes=config.hierarchy.block_bytes,
+        bfetch_config=config.bfetch,
+    )

@@ -837,7 +837,7 @@ class ExperimentRunner:
         any gate, ineligible lane or kernel failure raises so CI runs
         cannot silently measure the scalar path.
         """
-        from repro.batch import batch_counters
+        from repro.batch import batch_counters, record_fallback
         from repro.batch.kernel import BatchIneligible, BatchKernel
         gate = None
         if get_fault_plan().active:
@@ -864,9 +864,10 @@ class ExperimentRunner:
                 system = System(workload, config, replay=replay)
                 try:
                     kernel.add_lane(system, instructions)
-                except BatchIneligible:
+                except BatchIneligible as exc:
                     if mode == "on":
                         raise
+                    record_fallback(str(exc))
                     leftover.append(task)
                     continue
                 served.append(task)
@@ -879,10 +880,10 @@ class ExperimentRunner:
         except Exception:
             if mode == "on":
                 raise
-            batch_counters["fallback"] += len(tasks)
+            for _ in tasks:
+                record_fallback("batch kernel failure")
             return tasks
         batch_counters["lanes"] += len(served)
-        batch_counters["fallback"] += len(leftover)
         _replay_counters["replayed"] += len(served)
         for task, result in zip(served, lane_results):
             self._complete(task, result.as_dict(), results, report,
@@ -1196,11 +1197,12 @@ class ExperimentRunner:
         so a failure cannot leak partially-advanced state into the
         scalar rerun; ``on`` mode propagates instead of falling back.
         """
-        from repro.batch import batch_counters, batch_mode
+        from repro.batch import batch_counters, batch_mode, record_fallback
         mode = batch_mode()
         if mode == "off":
             return None
         from repro.batch.cmp import run_mix_batch
+        from repro.batch.kernel import BatchIneligible
         try:
             replays = [
                 self._batch_replay_source(workload, instructions, 0)
@@ -1208,10 +1210,15 @@ class ExperimentRunner:
             ]
             cmp_system = CMPSystem(workloads, config, replays=replays)
             results = run_mix_batch(cmp_system, instructions)
+        except BatchIneligible as exc:
+            if mode == "on":
+                raise
+            record_fallback(str(exc))
+            return None
         except Exception:
             if mode == "on":
                 raise
-            batch_counters["fallback"] += 1
+            record_fallback("batch kernel failure")
             return None
         batch_counters["cmp"] += 1
         return results

@@ -22,7 +22,11 @@ from repro.cpu.functional import Machine
 from repro.cpu.ooo import OutOfOrderCore
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.obs import StatsRegistry, Tracer
-from repro.sim.config import SystemConfig, make_prefetcher
+from repro.sim.config import (
+    SystemConfig,
+    make_iprefetcher_for,
+    make_prefetcher,
+)
 
 # chunk length for interrupt polling when neither a checkpointer nor a
 # sanitizer dictates a cadence
@@ -77,6 +81,14 @@ class RunResult:
             data["brtc_hit_rate"] = prefetcher.brtc.hit_rate
             data["mht_hit_rate"] = prefetcher.mht.hit_rate
             data["filter_blocked"] = prefetcher.filter.blocked
+        frontend = core.frontend
+        if frontend is not None:
+            # front-end payload blocks are gated so frontend="off" runs
+            # stay byte-identical to pre-front-end results
+            data["l1i"] = hierarchy.l1i.stats.as_dict()
+            data["frontend"] = frontend.stats_dict()
+            data["iprefetcher"] = frontend.iprefetcher.name
+            data["iprefetch"] = frontend.iprefetcher.stats.as_dict()
         return cls(data)
 
     def __repr__(self):
@@ -175,6 +187,52 @@ def build_registry(core, hierarchy, prefetcher, registry=None, core_prefix=""):
         reg.derived(pf + ".filter.blocked",
                     lambda: prefetcher.filter.blocked,
                     "prefetches blocked by the per-load filter")
+
+    frontend = core.frontend
+    if frontend is not None:
+        for attr, desc in (
+            ("ftq_enqueued", "fetch blocks enqueued by the BPU walker"),
+            ("ftq_hits", "demand fetches matching the FTQ head"),
+            ("ftq_mismatches", "demand fetches diverging from the FTQ"),
+            ("ftq_empty", "demand fetches finding the FTQ empty"),
+            ("ftq_flushes", "mismatch-driven FTQ flushes"),
+            ("redirects", "mispredict-resolution resteers"),
+            ("bpu_stalls", "ticks with a stalled run-ahead walker"),
+        ):
+            name = attr[4:] if attr.startswith("ftq_") else attr
+            reg.register(_adopted(p + "core.ftq." + name, frontend,
+                                  attr, desc))
+        reg.ratio(p + "core.ftq.mean_occupancy",
+                  lambda: frontend.occupancy_sum,
+                  lambda: max(frontend.occupancy_samples, 1),
+                  "average FTQ occupancy in fetch blocks")
+        predecoder = frontend.predecoder
+        reg.adopt(p + "core.predecode", predecoder,
+                  fields=("blocks", "shadow_fills", "shadow_hits"),
+                  descs={
+                      "blocks": "L1-I fills scanned by the predecoder",
+                      "shadow_fills": "shadow-branch BTB entries installed",
+                      "shadow_hits": "walker discoveries via a shadow fill",
+                  })
+        reg.ratio(p + "core.predecode.shadow_hit_rate",
+                  _attr(predecoder, "shadow_hits"),
+                  _attr(predecoder, "shadow_fills"),
+                  "walker-used fraction of shadow fills")
+        iprefetcher = frontend.iprefetcher
+        ipf = p + "pf.ifetch.%s" % iprefetcher.name
+        istats = iprefetcher.stats
+        reg.adopt(ipf, istats)
+        l1i_stats = hierarchy.l1i.stats
+        reg.ratio(ipf + ".coverage",
+                  lambda: l1i_stats.prefetch_useful,
+                  lambda: l1i_stats.prefetch_useful + l1i_stats.misses,
+                  "covered fraction of would-be L1-I demand misses")
+        if hasattr(iprefetcher, "walks"):  # B-Fetch-I walk extras
+            reg.adopt(ipf, iprefetcher, fields=("walks", "total_depth"),
+                      descs={
+                          "walks": "I-side lookahead walks started",
+                          "total_depth": "basic blocks walked in total",
+                      })
     return reg
 
 
@@ -243,12 +301,31 @@ class System:
             self.prefetcher,
             self.config.core,
         )
+        # decoupled front end (FTQ + predecode + I-side prefetch); with
+        # frontend="off" nothing here runs and the system is assembled
+        # exactly as before
+        if self.config.frontend != "off":
+            from repro.frontend import DecoupledFrontEnd
+            iprefetcher = make_iprefetcher_for(self.config)
+            if hasattr(iprefetcher, "attach"):
+                iprefetcher.attach(self.predictor, self.confidence)
+            self.core.bind_frontend(DecoupledFrontEnd(
+                self.config.frontend_cfg,
+                self.hierarchy,
+                self.predictor,
+                self.btb,
+                self.machine.program,
+                iprefetcher,
+                self.config.core,
+            ))
         # observability: tracer channels bound once at assembly; the
         # registry passively adopts every component's counters
         self.tracer = tracer if tracer is not None else Tracer.from_env()
         self.core.bind_tracer(self.tracer)
         self.hierarchy.bind_tracer(self.tracer)
         self.prefetcher.bind_tracer(self.tracer)
+        if self.core.frontend is not None:
+            self.core.frontend.bind_tracer(self.tracer)
         self.stats = build_registry(
             self.core, self.hierarchy, self.prefetcher,
             registry=registry, core_prefix=stats_prefix,
@@ -316,6 +393,8 @@ class System:
             and self.core.cycle == 0
             and instructions <= len(source.trace.records)
             and self.core._trace_branch is None
+            # the fused engine transcribes the frontend-free fetch loop
+            and self.core.frontend is None
         )
 
     def _run_fused(self, instructions):
@@ -420,6 +499,8 @@ class System:
             "hierarchy": self.hierarchy.snapshot(
                 include_shared=include_shared),
         })
+        if self.core.frontend is not None:
+            state["frontend"] = self.core.frontend.snapshot()
         return state
 
     def restore(self, state):
@@ -446,3 +527,5 @@ class System:
         self.btb.restore(state["btb"])
         self.prefetcher.restore(state["prefetcher"])
         self.hierarchy.restore(state["hierarchy"])
+        if self.core.frontend is not None:
+            self.core.frontend.restore(state["frontend"])

@@ -357,6 +357,48 @@ def emit_bigcode(b, iters, blocks=256, body_instrs=80):
     b.bnez(R_C0, loop)
 
 
+def emit_callweb(b, rng, funcs=256, body_instrs=40):
+    """Deep-call-graph phase (server-style instruction footprint).
+
+    Emits *funcs* function bodies behind a shuffled single-call-site
+    call web: the call region visits every function once per lap in a
+    seeded random order (``br f`` ... return label) and each body ends
+    with a direct branch back to its unique call site, so the web needs
+    no indirect branches yet hops across a code footprint of roughly
+    ``funcs * (body_instrs + 2) * 4`` bytes in non-sequential order --
+    the decoupled front end's target behaviour.  Each body performs one
+    load off ``R_B1`` (callers set the base) and carries one never-taken
+    conditional branch mid-body: shadow-branch content the predecoder
+    can expose before the block's entry branch ever executes.
+    """
+    tag = b.unique("cw")
+    done = tag + "_done"
+    order = list(range(funcs))
+    rng.shuffle(order)
+    for index in order:
+        b.br("%s_f%d" % (tag, index))
+        b.label("%s_r%d" % (tag, index))
+    b.br(done)
+    body = max(body_instrs - 4, 3)
+    half = body // 2
+    for index in range(funcs):
+        b.label("%s_f%d" % (tag, index))
+        b.li(R_T0, index + 1)
+        for position in range(body):
+            if position == half:
+                b.bnez(31, done)  # never taken: shadow-branch content
+            elif position % 3 == 0:
+                b.add(R_T0, R_T0, R_W2)
+            elif position % 3 == 1:
+                b.xor(R_T1, R_T1, R_T0)
+            else:
+                b.srli(R_T1, R_T1, 1)
+        b.load(R_T2, (index % 512) * 8, R_B1)
+        b.add(R_ACC, R_ACC, R_T2)
+        b.br("%s_r%d" % (tag, index))
+    b.label(done)
+
+
 def emit_compute(b, iters, chain=6):
     """ALU-dominated loop with a private stack slot (gamess/calculix
     style): effectively L1-resident, the paper's no-gain class."""

@@ -1,0 +1,53 @@
+"""Server-class code-footprint-heavy profiles (front-end evaluation).
+
+The 18 SPEC stand-ins stress the *data* side; their code footprints fit
+the 64KB L1I after the first lap, so instruction prefetching has nothing
+to do.  These three profiles model the server-style behaviour the FDIP
+and shadow-branch literature targets -- deep call graphs and
+straight-line code working sets past the L1I -- built from the
+:func:`~repro.workloads.patterns.emit_callweb` call web and oversized
+:func:`~repro.workloads.patterns.emit_bigcode` regions:
+
+* ``nginx``     -- one large shuffled call web (~75KB of bodies): every
+  lap hops through 384 functions in non-sequential order;
+* ``postgres``  -- a medium call web plus a bigcode executor segment and
+  an index-gather phase (catalog lookups): mixed I- and D-side misses;
+* ``verilator`` -- generated straight-line evaluation code (~113KB of
+  bigcode) with a compute tail: maximal sequential I-streaming.
+
+All three are ``klass="server"`` and deterministic like the SPEC
+profiles; registration lives in :data:`repro.workloads.spec.PROFILES`.
+"""
+
+from repro.workloads import patterns as pat
+
+_MB = 1024 * 1024
+
+
+def nginx(b, mem, rng, pro):
+    data_base, = _nbases(1)
+    b.li(pat.R_B1, data_base)
+    pat.emit_callweb(b, rng, funcs=384, body_instrs=44)
+    pat.emit_compute(b, iters=100)
+
+
+def postgres(b, mem, rng, pro):
+    data_base, idx_base, gather_base = _nbases(3)
+    pat.init_index_array(mem, rng, idx_base, 800, data_words=128 * 1024)
+    b.li(pat.R_B1, data_base)
+    pat.emit_callweb(b, rng, funcs=256, body_instrs=40)
+    pat.emit_bigcode(b, iters=1, blocks=128, body_instrs=61)
+    pat.emit_gather(b, idx_base, gather_base, elems=800, work=2)
+
+
+def verilator(b, mem, rng, pro):
+    data_base, = _nbases(1)
+    b.li(pat.R_B1, data_base)
+    pat.emit_bigcode(b, iters=1, blocks=384, body_instrs=72)
+    pat.emit_compute(b, iters=150)
+
+
+def _nbases(count):
+    """Region bases offset from the SPEC profiles' address range."""
+    region = 16 * _MB
+    return [region * (count + 40 + i) + i * 8256 for i in range(count)]

@@ -28,6 +28,7 @@ Every profile is deterministic (seeded per benchmark name).
 import random
 
 from repro.workloads import patterns as pat
+from repro.workloads import server as srv
 from repro.workloads.builder import ProgramBuilder
 from repro.workloads.workload import Workload
 
@@ -259,6 +260,11 @@ PROFILES = {
     "soplex": Profile("soplex", _soplex, "irregular"),
     "sphinx": Profile("sphinx", _sphinx, "streaming"),
     "zeusmp": Profile("zeusmp", _zeusmp, "spatial"),
+    # server-class code-footprint-heavy profiles (see workloads/server.py):
+    # the decoupled front end's evaluation set
+    "nginx": Profile("nginx", srv.nginx, "server"),
+    "postgres": Profile("postgres", srv.postgres, "server"),
+    "verilator": Profile("verilator", srv.verilator, "server"),
 }
 
 BENCHMARKS = tuple(sorted(PROFILES))

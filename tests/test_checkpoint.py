@@ -299,3 +299,81 @@ def test_sigkill_resume_byte_identical_mix(tmp_path):
     }
     resumed = _kill_then_resume(script, tmp_path)
     assert resumed == json.loads(json.dumps(reference, sort_keys=True))
+
+
+# ----------------------------------------------------------------------
+# decoupled front end: FTQ/predecode/I-MSHR state rides the checkpoint
+
+def _ftq_config(iprefetcher="fdip"):
+    return SystemConfig(prefetcher="none", frontend="ftq",
+                        iprefetcher=iprefetcher)
+
+
+@pytest.mark.parametrize("iprefetcher", ["fdip", "combined"])
+def test_interrupt_resume_byte_identical_frontend_single(tmp_path,
+                                                         iprefetcher):
+    budget = 15_000
+
+    def build():
+        return System(build_workload("nginx"), _ftq_config(iprefetcher))
+
+    reference = build().run(budget).as_dict()
+    ckpt = Checkpointer(str(tmp_path / "fe.ckpt.json"), every=1500)
+    tripped = InterruptFlag()
+    tripped.signum = signal.SIGINT
+    with pytest.raises(KeyboardInterrupt):
+        build().run(budget, checkpointer=ckpt, interrupt=tripped)
+    assert os.path.exists(ckpt.path)
+
+    resumed = build().run(budget, checkpointer=ckpt,
+                          interrupt=InterruptFlag()).as_dict()
+    assert resumed == reference
+
+
+def test_interrupt_resume_byte_identical_frontend_cmp(tmp_path):
+    mix = ["nginx", "postgres"]
+    config = _ftq_config("fdip")
+    budget = 6_000
+
+    def build():
+        return CMPSystem([build_workload(name) for name in mix], config)
+
+    reference = [r.as_dict() for r in build().run(budget)]
+    ckpt = Checkpointer(str(tmp_path / "femix.ckpt.json"), every=1500)
+    tripped = InterruptFlag()
+    tripped.signum = signal.SIGTERM
+    with pytest.raises(SystemExit):
+        build().run(budget, checkpointer=ckpt, interrupt=tripped)
+    assert os.path.exists(ckpt.path)
+
+    resumed = [r.as_dict() for r in build().run(
+        budget, checkpointer=ckpt, interrupt=InterruptFlag())]
+    assert resumed == reference
+
+
+_FRONTEND_SCRIPT = """\
+import json, sys
+sys.path.insert(0, %(src)r)
+from repro.sim.config import SystemConfig
+from repro.sim.runner import ExperimentRunner
+config = SystemConfig(prefetcher="none", frontend="ftq",
+                      iprefetcher=%(iprefetcher)r)
+result = ExperimentRunner().run_single(%(benchmark)r, "none",
+                                       %(instructions)d, config=config)
+print(json.dumps(result.as_dict(), sort_keys=True))
+"""
+
+
+def test_sigkill_resume_byte_identical_frontend(tmp_path):
+    """Chaos satellite: SIGKILL a front-end-enabled run mid-flight,
+    resume from the checkpoint, and match the uninterrupted payload."""
+    instructions = 40_000
+    config = _ftq_config("fdip")
+    reference = ExperimentRunner().run_single(
+        "nginx", "none", instructions, config=config).as_dict()
+    script = _FRONTEND_SCRIPT % {
+        "src": _SRC, "benchmark": "nginx", "iprefetcher": "fdip",
+        "instructions": instructions,
+    }
+    resumed = _kill_then_resume(script, tmp_path)
+    assert resumed == json.loads(json.dumps(reference, sort_keys=True))

@@ -1,0 +1,112 @@
+"""Front-end configs and the batch kernel: cleanly ineligible.
+
+The SoA batch kernel transcribes the frontend-free fetch loop into
+columns; FTQ run-ahead state has no lane representation.  The contract
+is *graceful* ineligibility: ``REPRO_BATCH=auto`` silently serves
+front-end runs on the scalar path (recording a named fallback reason),
+``REPRO_BATCH=on`` refuses loudly, and the payloads are identical
+either way.
+"""
+
+import pytest
+
+from repro.batch import (
+    BatchIneligible,
+    BatchKernel,
+    batch_counters,
+    batchable,
+    fallback_reasons,
+    reset_batch_counters,
+)
+from repro.sim.config import SystemConfig
+from repro.sim.runner import ExperimentRunner, RunRequest
+from repro.sim.system import System
+from repro.trace.store import clear_memos, reset_counters
+from repro.workloads.spec import build_workload
+
+FRONTEND_REASON = "decoupled front end is enabled"
+STEPS = 2_500
+
+
+@pytest.fixture(autouse=True)
+def _fresh_batch_state(monkeypatch):
+    clear_memos()
+    reset_counters()
+    reset_batch_counters()
+    monkeypatch.delenv("REPRO_BATCH", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_REPLAY", raising=False)
+    yield
+    clear_memos()
+    reset_counters()
+    reset_batch_counters()
+
+
+def _ftq_config():
+    return SystemConfig(prefetcher="none", frontend="ftq",
+                        iprefetcher="fdip")
+
+
+def _requests(steps=STEPS):
+    return [RunRequest(bench, "none", steps, _ftq_config())
+            for bench in ("nginx", "mcf")]
+
+
+def test_batchable_names_the_frontend_gate():
+    system = System(build_workload("nginx"), _ftq_config())
+    assert batchable(system, STEPS) == FRONTEND_REASON
+    with pytest.raises(BatchIneligible, match="front end"):
+        BatchKernel().add_lane(system, STEPS)
+
+
+def test_frontend_gate_fires_before_replay_gate():
+    """The named reason must be the front end, not the (also missing)
+    replay source -- callers diagnosing fallbacks see the real cause."""
+    system = System(build_workload("nginx"), _ftq_config())
+    assert system.replay is None
+    assert batchable(system, STEPS) == FRONTEND_REASON
+
+
+def test_auto_mode_falls_back_scalar_with_named_reason(tmp_path,
+                                                       monkeypatch):
+    expected = [r.as_dict() for r in
+                ExperimentRunner().run_many(_requests(), jobs=1)]
+    reset_batch_counters()
+    monkeypatch.setenv("REPRO_BATCH", "auto")
+    runner = ExperimentRunner(cache_dir=str(tmp_path))
+    got = [r.as_dict() for r in runner.run_many(_requests(), jobs=1)]
+    assert got == expected
+    assert batch_counters["lanes"] == 0
+    assert batch_counters["fallback"] == len(_requests())
+    assert fallback_reasons == {FRONTEND_REASON: len(_requests())}
+
+
+def test_on_mode_raises_batch_ineligible(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BATCH", "on")
+    runner = ExperimentRunner(cache_dir=str(tmp_path))
+    with pytest.raises(BatchIneligible, match="front end"):
+        runner.run_many(_requests(), jobs=1)
+
+
+def test_mixed_batch_serves_eligible_lanes_only(tmp_path, monkeypatch):
+    """Off-mode lanes still go through the kernel when a front-end
+    request rides in the same batch."""
+    requests = _requests() + [RunRequest("mcf", "bfetch", STEPS)]
+    expected = [r.as_dict() for r in
+                ExperimentRunner().run_many(requests, jobs=1)]
+    reset_batch_counters()
+    monkeypatch.setenv("REPRO_BATCH", "auto")
+    runner = ExperimentRunner(cache_dir=str(tmp_path))
+    got = [r.as_dict() for r in runner.run_many(requests, jobs=1)]
+    assert got == expected
+    assert batch_counters["lanes"] == 1
+    assert fallback_reasons == {FRONTEND_REASON: len(_requests())}
+
+
+def test_reset_clears_fallback_reasons():
+    from repro.batch import record_fallback
+    record_fallback("some reason")
+    assert fallback_reasons == {"some reason": 1}
+    assert batch_counters["fallback"] == 1
+    reset_batch_counters()
+    assert fallback_reasons == {}
+    assert batch_counters["fallback"] == 0

@@ -32,8 +32,12 @@ def test_all_benchmarks_run_functionally(name):
     assert machine.instret == 30_000
 
 
-def test_eighteen_benchmarks():
-    assert len(BENCHMARKS) == 18
+def test_benchmark_roster():
+    # 18 SPEC stand-ins plus the three server-class front-end profiles
+    assert len(BENCHMARKS) == 21
+    servers = [name for name in BENCHMARKS
+               if build_workload(name).profile.klass == "server"]
+    assert servers == ["nginx", "postgres", "verilator"]
 
 
 def test_prefetch_sensitive_subset():
@@ -156,7 +160,8 @@ def test_append_builder_offsets_labels():
 def test_workload_classes_cover_paper_taxonomy():
     from repro.workloads.spec import PROFILES
     classes = {p.klass for p in PROFILES.values()}
-    assert classes == {"compute", "streaming", "spatial", "irregular"}
+    assert classes == {"compute", "streaming", "spatial", "irregular",
+                       "server"}
 
 
 def test_cfg_extraction_on_generated_programs():
